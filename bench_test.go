@@ -1,0 +1,216 @@
+// Package edgetta_test holds the repository-level benchmark harness: one
+// benchmark per paper figure/table (regenerating it through the calibrated
+// device simulator and study harness) plus real-execution benchmarks of
+// the underlying kernels, models and adaptation algorithms.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem .
+package edgetta_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgetta/internal/core"
+	"edgetta/internal/data"
+	"edgetta/internal/device"
+	"edgetta/internal/models"
+	"edgetta/internal/nn"
+	"edgetta/internal/profile"
+	"edgetta/internal/study"
+	"edgetta/internal/tensor"
+)
+
+// benchFigure regenerates one paper artifact per iteration and reports the
+// output size, failing the benchmark on any error.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	var n int
+	for i := 0; i < b.N; i++ {
+		out, err := study.Figure(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(out)
+	}
+	b.ReportMetric(float64(n), "output_bytes")
+}
+
+func BenchmarkFig2PredictionErrors(b *testing.B)    { benchFigure(b, "fig2") }
+func BenchmarkFig3Ultra96ForwardTimes(b *testing.B) { benchFigure(b, "fig3") }
+func BenchmarkFig4Ultra96Breakdown(b *testing.B)    { benchFigure(b, "fig4") }
+func BenchmarkFig5Ultra96Tradeoffs(b *testing.B)    { benchFigure(b, "fig5") }
+func BenchmarkFig6RPiForwardTimes(b *testing.B)     { benchFigure(b, "fig6") }
+func BenchmarkFig7RPiBreakdown(b *testing.B)        { benchFigure(b, "fig7") }
+func BenchmarkFig8RPiTradeoffs(b *testing.B)        { benchFigure(b, "fig8") }
+func BenchmarkFig9XavierForwardTimes(b *testing.B)  { benchFigure(b, "fig9") }
+func BenchmarkFig10XavierBreakdown(b *testing.B)    { benchFigure(b, "fig10") }
+func BenchmarkFig11XavierTradeoffs(b *testing.B)    { benchFigure(b, "fig11") }
+func BenchmarkFig12OverallResults(b *testing.B)     { benchFigure(b, "fig12") }
+func BenchmarkTable1MobileNetForward(b *testing.B)  { benchFigure(b, "table1") }
+
+// BenchmarkAnchorWRN50NXGPU reports the paper's headline configuration
+// (WRN-AM-50 + BN-Norm on the Xavier NX GPU) as custom metrics, so bench
+// output records the simulated values next to the paper's 0.315 s / 2.96 J.
+func BenchmarkAnchorWRN50NXGPU(b *testing.B) {
+	d, _ := device.ByTag("xaviernx")
+	p, err := profile.Get("WRN-AM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var r device.Report
+	for i := 0; i < b.N; i++ {
+		r, err = device.Estimate(d, device.GPU, p, core.BNNorm, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Seconds, "sim_s")
+	b.ReportMetric(r.EnergyJ, "sim_J")
+}
+
+// --- Real-execution benchmarks of the substrates ---
+
+func reproModel(b *testing.B) *models.Model {
+	b.Helper()
+	return models.WideResNet402(rand.New(rand.NewSource(1)), models.ReproScale)
+}
+
+func randBatch(n int) *tensor.Tensor {
+	x := tensor.New(n, 3, 32, 32)
+	x.Uniform(rand.New(rand.NewSource(2)), 0, 1)
+	return x
+}
+
+// BenchmarkInferenceRepro measures eval-mode forward of the repro-scale
+// WRN over a 50-image batch (the paper's No-Adapt workload, scaled down).
+func BenchmarkInferenceRepro(b *testing.B) {
+	m := reproModel(b)
+	x := randBatch(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x, false)
+	}
+}
+
+// BenchmarkBNNormRepro measures the BN-Norm adaptation step: a forward
+// pass with batch-statistics BN.
+func BenchmarkBNNormRepro(b *testing.B) {
+	m := reproModel(b)
+	a, err := core.New(core.BNNorm, m, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randBatch(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Process(x)
+	}
+}
+
+// BenchmarkBNOptRepro measures the BN-Opt (TENT) step: forward, entropy
+// backward through the whole network, and an Adam update of gamma/beta —
+// the paper's identified bottleneck.
+func BenchmarkBNOptRepro(b *testing.B) {
+	m := reproModel(b)
+	a, err := core.New(core.BNOpt, m, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randBatch(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Process(x)
+	}
+}
+
+// BenchmarkFullScaleWRNForward runs a real single-image forward through
+// the paper-exact WideResNet-40-2 (0.33 GMACs).
+func BenchmarkFullScaleWRNForward(b *testing.B) {
+	m := models.WideResNet402(rand.New(rand.NewSource(1)), models.Full)
+	x := randBatch(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x, false)
+	}
+}
+
+func BenchmarkConv3x3Forward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	conv := nn.NewConv2d("c", rng, 32, 32, 3, 1, 1, 1)
+	x := tensor.New(8, 32, 32, 32)
+	x.Randn(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, false)
+	}
+}
+
+func BenchmarkBatchNormTrainForward(b *testing.B) {
+	bn := nn.NewBatchNorm2d("bn", 64)
+	x := tensor.New(50, 64, 16, 16)
+	x.Randn(rand.New(rand.NewSource(1)), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bn.Forward(x, true)
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(256, 256)
+	y := tensor.New(256, 256)
+	x.Randn(rng, 1)
+	y.Randn(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+// BenchmarkCorruptions measures the full CIFAR-10-C corruption suite on
+// one image at severity 5.
+func BenchmarkCorruptions(b *testing.B) {
+	gen := data.NewGenerator(1)
+	rng := rand.New(rand.NewSource(2))
+	img := gen.Sample(rng, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range data.AllCorruptions {
+			data.Apply(c, img, data.ImageSize, data.ImageSize, 5, rng)
+		}
+	}
+}
+
+// BenchmarkMeasuredBreakdownBNOpt reproduces the paper's profiling
+// methodology on this host's own kernels: one BN-Opt step under the layer
+// profiler, reporting the conv backward/forward wall-time ratio (the paper
+// measures 2.2–2.5× on its devices).
+func BenchmarkMeasuredBreakdownBNOpt(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := profile.MeasureBreakdown(reproModel(b), core.BNOpt, 16, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r.ConvBwOverFw()
+	}
+	b.ReportMetric(ratio, "conv_bw_over_fw")
+}
+
+// BenchmarkStreamAdaptation measures a short end-to-end online adaptation
+// episode (BN-Norm over a 200-sample corrupted stream).
+func BenchmarkStreamAdaptation(b *testing.B) {
+	m := reproModel(b)
+	a, err := core.New(core.BNNorm, m, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := data.NewGenerator(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := gen.NewStream(int64(i), 200, data.GaussianNoise, 5)
+		core.RunStream(a, s, 50)
+	}
+}

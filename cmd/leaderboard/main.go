@@ -1,0 +1,85 @@
+// Command leaderboard runs the RobustBench-style evaluation (the
+// leaderboard the paper's footnote 1 cites, extended with adaptation
+// entries, which RobustBench itself does not track): every requested model
+// is trained at repro scale (or loaded from a checkpoint cache), scored on
+// clean and corrupted streams with and without BN adaptation, and ranked.
+//
+// Usage:
+//
+//	leaderboard                              # WRN-AM only (quick)
+//	leaderboard -models WRN-AM,MBV2 -ckpt /tmp/ckpts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"edgetta/internal/core"
+	"edgetta/internal/data"
+	"edgetta/internal/robustbench"
+	"edgetta/internal/study"
+)
+
+func main() {
+	modelsFlag := flag.String("models", "WRN-AM", "comma-separated model tags or 'all'")
+	corruptions := flag.Int("corruptions", 5, "corruption families to evaluate (max 15)")
+	samples := flag.Int("samples", 300, "samples per stream")
+	epochs := flag.Int("epochs", 4, "training epochs")
+	seed := flag.Int64("seed", 7, "experiment seed")
+	ckptDir := flag.String("ckpt", "", "checkpoint cache directory")
+	flag.Parse()
+
+	tags := strings.Split(*modelsFlag, ",")
+	if *modelsFlag == "all" {
+		tags = []string{"RXT-AM", "WRN-AM", "R18-AM-AT", "MBV2"}
+	}
+	n := *corruptions
+	if n < 1 {
+		n = 1
+	}
+	if n > len(data.AllCorruptions) {
+		n = len(data.AllCorruptions)
+	}
+
+	mcfg := study.MeasuredConfig{
+		Seed: *seed, Epochs: *epochs, CheckpointDir: *ckptDir,
+		LogF: func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) },
+	}
+	var scores []robustbench.Score
+	for _, tag := range tags {
+		tag = strings.TrimSpace(tag)
+		for _, algo := range core.Algorithms {
+			adapter, gen, err := study.TrainedAdapter(tag, algo, mcfg)
+			if err != nil {
+				fatal(err)
+			}
+			cfg := robustbench.Config{
+				Gen: gen, Seed: *seed, Samples: *samples, Batch: 50,
+				Corruptions: data.AllCorruptions[:n],
+			}
+			s, err := robustbench.Evaluate(fmt.Sprintf("%s + %s", tag, algo), adapter, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  scored %-24s clean %5.1f%%  corrupted %5.1f%%\n",
+				s.Name, 100*s.CleanErr, 100*s.MeanErr)
+			scores = append(scores, s)
+			if worst := robustbench.WorstCorruptions(s, 3); len(worst) > 0 {
+				fmt.Printf("    worst corruptions: %s\n", strings.Join(worst, ", "))
+			}
+		}
+	}
+	fmt.Println()
+	out, err := robustbench.Leaderboard(scores)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "leaderboard:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+// Command ttabench regenerates the paper's figures and tables from the
+// calibrated device simulator and the reference error table.
+//
+// Usage:
+//
+//	ttabench -figure fig2        # one artifact (fig2..fig12, table1)
+//	ttabench -figure all         # everything
+//	ttabench -anchors            # calibration anchors vs simulated values
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"edgetta/internal/core"
+	"edgetta/internal/device"
+	"edgetta/internal/profile"
+	"edgetta/internal/study"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "figure/table id (fig2..fig12, table1) or 'all'")
+	anchors := flag.Bool("anchors", false, "print paper anchors vs simulated values")
+	insights := flag.Bool("insights", false, "print the recomputed Sec. IV-G architecture-algorithm insights")
+	flag.Parse()
+
+	if *anchors {
+		if err := printAnchors(); err != nil {
+			fmt.Fprintln(os.Stderr, "ttabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *insights {
+		out, err := study.Insights()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttabench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	ids := []string{*figure}
+	if *figure == "all" {
+		ids = study.FigureIDs()
+	}
+	for _, id := range ids {
+		out, err := study.Figure(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttabench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}
+
+type anchor struct {
+	name  string
+	paper float64
+	sim   func() (float64, error)
+}
+
+func printAnchors() error {
+	sim := func(devTag string, kind device.EngineKind, model string, algo core.Algorithm, batch int,
+		metric func(device.Report) float64) func() (float64, error) {
+		return func() (float64, error) {
+			d, _ := device.ByTag(devTag)
+			p, err := profile.Get(model)
+			if err != nil {
+				return 0, err
+			}
+			r, err := device.Estimate(d, kind, p, algo, batch)
+			if err != nil {
+				return 0, err
+			}
+			return metric(r), nil
+		}
+	}
+	secs := func(r device.Report) float64 { return r.Seconds }
+	joules := func(r device.Report) float64 { return r.EnergyJ }
+
+	anchors := []anchor{
+		{"Ultra96 WRN-50 No-Adapt (s)", 3.58, sim("ultra96", device.CPU, "WRN-AM", core.NoAdapt, 50, secs)},
+		{"Ultra96 WRN-50 BN-Norm (s)", 3.95, sim("ultra96", device.CPU, "WRN-AM", core.BNNorm, 50, secs)},
+		{"Ultra96 WRN-50 BN-Opt (s)", 13.35, sim("ultra96", device.CPU, "WRN-AM", core.BNOpt, 50, secs)},
+		{"Ultra96 WRN-50 No-Adapt (J)", 4.47, sim("ultra96", device.CPU, "WRN-AM", core.NoAdapt, 50, joules)},
+		{"Ultra96 WRN-50 BN-Norm (J)", 4.93, sim("ultra96", device.CPU, "WRN-AM", core.BNNorm, 50, joules)},
+		{"Ultra96 WRN-50 BN-Opt (J)", 14.35, sim("ultra96", device.CPU, "WRN-AM", core.BNOpt, 50, joules)},
+		{"RPi WRN-50 No-Adapt (s)", 2.04, sim("rpi4", device.CPU, "WRN-AM", core.NoAdapt, 50, secs)},
+		{"RPi WRN-50 BN-Norm (s)", 2.59, sim("rpi4", device.CPU, "WRN-AM", core.BNNorm, 50, secs)},
+		{"RPi WRN-50 BN-Opt (s)", 7.97, sim("rpi4", device.CPU, "WRN-AM", core.BNOpt, 50, secs)},
+		{"RPi WRN-50 No-Adapt (J)", 5.04, sim("rpi4", device.CPU, "WRN-AM", core.NoAdapt, 50, joules)},
+		{"RPi WRN-50 BN-Norm (J)", 5.95, sim("rpi4", device.CPU, "WRN-AM", core.BNNorm, 50, joules)},
+		{"RPi WRN-50 BN-Opt (J)", 19.12, sim("rpi4", device.CPU, "WRN-AM", core.BNOpt, 50, joules)},
+		{"NX-GPU WRN-50 No-Adapt (s)", 0.10, sim("xaviernx", device.GPU, "WRN-AM", core.NoAdapt, 50, secs)},
+		{"NX-GPU WRN-50 BN-Norm (s)", 0.315, sim("xaviernx", device.GPU, "WRN-AM", core.BNNorm, 50, secs)},
+		{"NX-GPU WRN-50 BN-Opt (s)", 0.82, sim("xaviernx", device.GPU, "WRN-AM", core.BNOpt, 50, secs)},
+		{"NX-GPU WRN-50 No-Adapt (J)", 1.02, sim("xaviernx", device.GPU, "WRN-AM", core.NoAdapt, 50, joules)},
+		{"NX-GPU WRN-50 BN-Norm (J)", 2.96, sim("xaviernx", device.GPU, "WRN-AM", core.BNNorm, 50, joules)},
+		{"NX-GPU WRN-50 BN-Opt (J)", 7.96, sim("xaviernx", device.GPU, "WRN-AM", core.BNOpt, 50, joules)},
+		{"A1: NX-CPU RXT-200 BN-Opt (s)", 69.58, sim("xaviernx", device.CPU, "RXT-AM", core.BNOpt, 200, secs)},
+		{"A2: RPi RXT-200 BN-Opt (J)", 337.43, sim("rpi4", device.CPU, "RXT-AM", core.BNOpt, 200, joules)},
+		{"MBV2 NX-GPU b50 BN-Opt (s)", 1.63, sim("xaviernx", device.GPU, "MBV2", core.BNOpt, 50, secs)},
+		{"MBV2 NX-GPU b200 No-Adapt (s)", 0.25, sim("xaviernx", device.GPU, "MBV2", core.NoAdapt, 200, secs)},
+	}
+
+	fmt.Printf("%-34s %10s %10s %8s\n", "anchor", "paper", "simulated", "delta")
+	fmt.Println(strings.Repeat("-", 66))
+	for _, a := range anchors {
+		v, err := a.sim()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-34s %10.3f %10.3f %+7.1f%%\n", a.name, a.paper, v, 100*(v-a.paper)/a.paper)
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+package main
+
+import "io"
+
+// newPipe wraps io.Pipe for the in-memory checkpoint copy.
+func newPipe() (io.Reader, io.WriteCloser) {
+	r, w := io.Pipe()
+	return r, w
+}

@@ -1,0 +1,54 @@
+// Oomhunt maps the memory envelope of test-time adaptation: for every
+// device, model, algorithm and batch size it reports whether the
+// configuration fits, and how much headroom remains. This reproduces the
+// paper's out-of-memory findings (Secs. IV-B and IV-D) — e.g. ResNeXt +
+// BN-Opt dies on the 2 GB Ultra96 at batch ≥100 because the dynamic
+// autograd graph alone exceeds DRAM, and on the NX GPU at batch 200 once
+// cuDNN's residency is added.
+package main
+
+import (
+	"fmt"
+
+	"edgetta/internal/core"
+	"edgetta/internal/device"
+	"edgetta/internal/profile"
+)
+
+func main() {
+	modelTags := []string{"RXT-AM", "WRN-AM", "R18-AM-AT", "MBV2"}
+	batches := []int{50, 100, 200}
+
+	for _, d := range device.All() {
+		for _, eng := range d.Engines {
+			avail := d.MemBytes - d.OSReserveBytes
+			fmt.Printf("\n=== %s / %s (%.1f GB usable) ===\n",
+				d.Name, eng.Name, float64(avail)/(1<<30))
+			fmt.Printf("%-11s %-9s %8s %8s %8s\n", "model", "algo", "b=50", "b=100", "b=200")
+			for _, tag := range modelTags {
+				p, err := profile.Get(tag)
+				if err != nil {
+					panic(err)
+				}
+				for _, algo := range []core.Algorithm{core.BNNorm, core.BNOpt} {
+					fmt.Printf("%-11s %-9s", tag, algo)
+					for _, b := range batches {
+						r, err := device.Estimate(d, eng.Kind, p, algo, b)
+						if err != nil {
+							panic(err)
+						}
+						cell := fmt.Sprintf("%.0fMB", float64(r.PeakMemBytes)/(1<<20))
+						if r.OOM {
+							cell = "OOM"
+						}
+						fmt.Printf(" %8s", cell)
+					}
+					fmt.Println()
+				}
+			}
+			_ = batches
+		}
+	}
+	fmt.Println("\nPaper cross-check: Ultra96 kills RXT-AM/BN-Opt at batch 100 and 200;")
+	fmt.Println("the NX GPU kills it at 200 only (extra cuDNN residency); the RPi (8 GB) runs everything.")
+}

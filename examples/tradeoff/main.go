@@ -1,0 +1,79 @@
+// Tradeoff explores the paper's multi-objective selection (Sec. III-F):
+// given weights for time, energy and prediction error, it ranks every
+// (device, engine, model, algorithm, batch) configuration and reports the
+// optimum, reproducing the analysis behind Figs. 5, 8, 11 and 12.
+//
+// Usage:
+//
+//	tradeoff                          # the paper's four scenarios
+//	tradeoff -time 0.6 -energy 0.3 -err 0.1
+//	tradeoff -device rpi4             # restrict to one device
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgetta/internal/device"
+	"edgetta/internal/study"
+)
+
+func main() {
+	wTime := flag.Float64("time", -1, "weight for adaptation time (s)")
+	wEnergy := flag.Float64("energy", -1, "weight for energy (J)")
+	wErr := flag.Float64("err", -1, "weight for prediction error (%)")
+	devTag := flag.String("device", "all", "restrict to one device tag, or 'all'")
+	top := flag.Int("top", 5, "show the top-N configurations")
+	flag.Parse()
+
+	var cases []study.Case
+	switch *devTag {
+	case "all":
+		cases = study.AllCases()
+	case "xaviernx":
+		cases = append(study.EngineCases("xaviernx", device.CPU),
+			study.EngineCases("xaviernx", device.GPU)...)
+	default:
+		if _, ok := device.ByTag(*devTag); !ok {
+			fmt.Fprintf(os.Stderr, "tradeoff: unknown device %q\n", *devTag)
+			os.Exit(1)
+		}
+		cases = study.EngineCases(*devTag, device.CPU)
+	}
+	pts, err := study.EvaluateAll(cases, study.ReferenceErrors())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tradeoff:", err)
+		os.Exit(1)
+	}
+
+	scenarios := study.PaperScenarios
+	names := study.ScenarioNames
+	if *wTime >= 0 || *wEnergy >= 0 || *wErr >= 0 {
+		w := study.Weights{Time: *wTime, Energy: *wEnergy, Err: *wErr}
+		if !w.Valid() {
+			fmt.Fprintln(os.Stderr, "tradeoff: weights must be nonnegative and sum to 1")
+			os.Exit(1)
+		}
+		scenarios, names = []study.Weights{w}, []string{"custom"}
+	}
+
+	for i, w := range scenarios {
+		fmt.Printf("=== scenario %q (%s) ===\n", names[i], w)
+		ranked := study.Rank(pts, w)
+		for j, p := range ranked {
+			if j >= *top {
+				break
+			}
+			fmt.Printf("  %d. %-44s %9.3fs %9.2fJ %6.2f%%  obj=%.3f\n",
+				j+1, p.Label(), p.Seconds, p.EnergyJ, p.ErrPct, w.Objective(p))
+		}
+		fmt.Println()
+	}
+
+	front := study.ParetoFront(pts)
+	fmt.Printf("Pareto-optimal configurations (%d of %d):\n", len(front), len(pts))
+	for _, p := range front {
+		fmt.Printf("  %-44s %9.3fs %9.2fJ %6.2f%%\n", p.Label(), p.Seconds, p.EnergyJ, p.ErrPct)
+	}
+}

@@ -1,0 +1,147 @@
+// Package compress implements the model-reduction techniques the paper's
+// insight (iv) calls for exploration: magnitude pruning and uniform weight
+// quantization. Both are "fake" transforms (weights stay float32) so the
+// adapted models keep running through the same kernels, letting the
+// accuracy impact on corrupted streams be measured for real — the paper's
+// caution that "any model reduction should not compromise the robust
+// accuracy against corruptions".
+package compress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"edgetta/internal/models"
+	"edgetta/internal/nn"
+)
+
+// prunable reports whether a parameter is a conv/linear weight matrix.
+// BN affine parameters and biases are never pruned or quantized: they are
+// exactly the state the adaptation algorithms re-estimate.
+func prunable(p *nn.Param) bool {
+	return strings.HasSuffix(p.Name, ".weight")
+}
+
+// PruneReport summarizes a pruning pass.
+type PruneReport struct {
+	Threshold   float32
+	TotalW      int
+	ZeroedW     int
+	Sparsity    float64
+	ParamsSwept int
+}
+
+// PruneMagnitude zeroes the fraction frac of smallest-magnitude weights
+// across all conv/linear weight tensors (global unstructured magnitude
+// pruning). frac must be in [0, 1).
+func PruneMagnitude(m *models.Model, frac float64) (PruneReport, error) {
+	if frac < 0 || frac >= 1 {
+		return PruneReport{}, fmt.Errorf("compress: prune fraction %v outside [0, 1)", frac)
+	}
+	var rep PruneReport
+	var mags []float32
+	for _, p := range m.Params() {
+		if !prunable(p) {
+			continue
+		}
+		rep.ParamsSwept++
+		for _, v := range p.Data {
+			mags = append(mags, abs32(v))
+		}
+	}
+	rep.TotalW = len(mags)
+	if rep.TotalW == 0 || frac == 0 {
+		return rep, nil
+	}
+	sort.Slice(mags, func(i, j int) bool { return mags[i] < mags[j] })
+	k := int(frac * float64(len(mags)))
+	if k >= len(mags) {
+		k = len(mags) - 1
+	}
+	rep.Threshold = mags[k]
+	for _, p := range m.Params() {
+		if !prunable(p) {
+			continue
+		}
+		for i, v := range p.Data {
+			if abs32(v) < rep.Threshold {
+				p.Data[i] = 0
+				rep.ZeroedW++
+			}
+		}
+	}
+	rep.Sparsity = float64(rep.ZeroedW) / float64(rep.TotalW)
+	return rep, nil
+}
+
+// QuantReport summarizes a quantization pass.
+type QuantReport struct {
+	Bits        int
+	Tensors     int
+	MaxAbsError float64 // largest |w - q(w)| over all quantized weights
+}
+
+// QuantizeWeights applies symmetric per-tensor uniform quantization to
+// every conv/linear weight: w → round(w/Δ)·Δ with Δ = max|w| / (2^(b-1)−1).
+// bits must be in [2, 16].
+func QuantizeWeights(m *models.Model, bits int) (QuantReport, error) {
+	if bits < 2 || bits > 16 {
+		return QuantReport{}, fmt.Errorf("compress: %d bits outside [2, 16]", bits)
+	}
+	levels := float64(int(1)<<(bits-1)) - 1
+	rep := QuantReport{Bits: bits}
+	for _, p := range m.Params() {
+		if !prunable(p) {
+			continue
+		}
+		rep.Tensors++
+		maxAbs := float32(0)
+		for _, v := range p.Data {
+			if a := abs32(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			continue
+		}
+		delta := float64(maxAbs) / levels
+		for i, v := range p.Data {
+			q := math.Round(float64(v)/delta) * delta
+			if e := math.Abs(float64(v) - q); e > rep.MaxAbsError {
+				rep.MaxAbsError = e
+			}
+			p.Data[i] = float32(q)
+		}
+	}
+	return rep, nil
+}
+
+// Sparsity returns the current zero fraction of the model's prunable
+// weights.
+func Sparsity(m *models.Model) float64 {
+	total, zero := 0, 0
+	for _, p := range m.Params() {
+		if !prunable(p) {
+			continue
+		}
+		for _, v := range p.Data {
+			total++
+			if v == 0 {
+				zero++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zero) / float64(total)
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

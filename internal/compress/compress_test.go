@@ -1,0 +1,188 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"edgetta/internal/models"
+	"edgetta/internal/tensor"
+)
+
+func model(seed int64) *models.Model {
+	return models.WideResNet402(rand.New(rand.NewSource(seed)), models.ReproScale)
+}
+
+func TestPruneReachesRequestedSparsity(t *testing.T) {
+	m := model(1)
+	rep, err := PruneMagnitude(m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Sparsity-0.5) > 0.02 {
+		t.Fatalf("sparsity %.3f, want ~0.5", rep.Sparsity)
+	}
+	if got := Sparsity(m); math.Abs(got-rep.Sparsity) > 1e-9 {
+		t.Fatalf("Sparsity() %.3f disagrees with report %.3f", got, rep.Sparsity)
+	}
+}
+
+func TestPruneKeepsLargestWeights(t *testing.T) {
+	m := model(2)
+	rep, err := PruneMagnitude(m, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range m.Params() {
+		if !strings.HasSuffix(p.Name, ".weight") {
+			continue
+		}
+		for _, v := range p.Data {
+			if v != 0 && abs32(v) < rep.Threshold {
+				t.Fatalf("surviving weight %v below threshold %v", v, rep.Threshold)
+			}
+		}
+	}
+}
+
+func TestPruneSparesBNParameters(t *testing.T) {
+	m := model(3)
+	// Force distinctive BN values, prune hard, verify untouched.
+	for _, bn := range m.BatchNorms() {
+		for i := range bn.Gamma.Data {
+			bn.Gamma.Data[i] = 1e-6 // tiny: would be pruned if swept
+		}
+	}
+	if _, err := PruneMagnitude(m, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	for _, bn := range m.BatchNorms() {
+		for _, g := range bn.Gamma.Data {
+			if g != 1e-6 {
+				t.Fatal("pruning touched BN gamma")
+			}
+		}
+	}
+}
+
+func TestPruneZeroFractionIsNoOp(t *testing.T) {
+	m := model(4)
+	before := m.Params()[0].Data[0]
+	rep, err := PruneMagnitude(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ZeroedW != 0 || m.Params()[0].Data[0] != before {
+		t.Fatal("frac=0 must not modify the model")
+	}
+}
+
+func TestPruneRejectsBadFraction(t *testing.T) {
+	m := model(5)
+	if _, err := PruneMagnitude(m, 1.0); err == nil {
+		t.Fatal("frac=1 must be rejected")
+	}
+	if _, err := PruneMagnitude(m, -0.1); err == nil {
+		t.Fatal("negative frac must be rejected")
+	}
+}
+
+func TestQuantizeErrorBound(t *testing.T) {
+	for _, bits := range []int{4, 8, 12} {
+		m := model(6)
+		// Find per-tensor max before quantization to bound the step.
+		maxAbs := float32(0)
+		for _, p := range m.Params() {
+			if !strings.HasSuffix(p.Name, ".weight") {
+				continue
+			}
+			for _, v := range p.Data {
+				if a := abs32(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+		}
+		rep, err := QuantizeWeights(m, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		levels := float64(int(1)<<(bits-1)) - 1
+		bound := float64(maxAbs) / levels / 2 * 1.0001
+		if rep.MaxAbsError > bound {
+			t.Fatalf("%d bits: max error %.6g exceeds half-step bound %.6g", bits, rep.MaxAbsError, bound)
+		}
+	}
+}
+
+func TestQuantizeIsIdempotent(t *testing.T) {
+	m := model(7)
+	if _, err := QuantizeWeights(m, 6); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]float32(nil), m.Params()[0].Data...)
+	rep, err := QuantizeWeights(m, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid may shift slightly because max|w| can shrink after the first
+	// pass, but error must be tiny and most weights unchanged.
+	if rep.MaxAbsError > 1e-2 {
+		t.Fatalf("second quantization moved weights too much: %v", rep.MaxAbsError)
+	}
+	same := 0
+	for i, v := range m.Params()[0].Data {
+		if v == snapshot[i] {
+			same++
+		}
+	}
+	if same < len(snapshot)*9/10 {
+		t.Fatalf("only %d/%d weights stable across re-quantization", same, len(snapshot))
+	}
+}
+
+func TestQuantize8BitPreservesLogits(t *testing.T) {
+	m := model(8)
+	x := tensor.New(2, 3, 32, 32)
+	x.Uniform(rand.New(rand.NewSource(1)), 0, 1)
+	before := m.Forward(x, false).Clone()
+	if _, err := QuantizeWeights(m, 8); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Forward(x, false)
+	maxDiff := 0.0
+	for i := range before.Data {
+		if d := math.Abs(float64(before.Data[i] - after.Data[i])); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 0.5 {
+		t.Fatalf("8-bit quantization distorted logits by %.3f", maxDiff)
+	}
+	// 2-bit must distort much more (sanity that quantization does bite).
+	m2 := model(8)
+	before2 := m2.Forward(x, false).Clone()
+	if _, err := QuantizeWeights(m2, 2); err != nil {
+		t.Fatal(err)
+	}
+	after2 := m2.Forward(x, false)
+	maxDiff2 := 0.0
+	for i := range before2.Data {
+		if d := math.Abs(float64(before2.Data[i] - after2.Data[i])); d > maxDiff2 {
+			maxDiff2 = d
+		}
+	}
+	if maxDiff2 <= maxDiff {
+		t.Fatalf("2-bit (%.3f) should distort more than 8-bit (%.3f)", maxDiff2, maxDiff)
+	}
+}
+
+func TestQuantizeRejectsBadBits(t *testing.T) {
+	m := model(9)
+	if _, err := QuantizeWeights(m, 1); err == nil {
+		t.Fatal("1 bit must be rejected")
+	}
+	if _, err := QuantizeWeights(m, 17); err == nil {
+		t.Fatal("17 bits must be rejected")
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgetta/internal/tensor"
+)
+
+// logitsDist measures mean absolute logit difference between two adapters
+// processing the same batch.
+func logitsDist(a, b *tensor.Tensor) float64 {
+	d := 0.0
+	for i := range a.Data {
+		d += math.Abs(float64(a.Data[i] - b.Data[i]))
+	}
+	return d / float64(len(a.Data))
+}
+
+// TestSourcePriorInterpolates: with a huge prior, BN-Norm behaves like
+// No-Adapt (source statistics dominate); with prior 0 it is pure batch
+// statistics; intermediate priors land strictly between.
+func TestSourcePriorInterpolates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(8, 3, 32, 32)
+	x.Uniform(rng, 0, 1)
+	for i := range x.Data {
+		x.Data[i] = x.Data[i]*0.4 + 0.5 // shifted distribution
+	}
+
+	run := func(prior float64, algo Algorithm) *tensor.Tensor {
+		m := tinyModel(31)
+		a, err := New(algo, m, Config{SourcePrior: prior})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.Process(x).Clone()
+	}
+	noAdapt := run(0, NoAdapt)
+	pure := run(0, BNNorm)
+	huge := run(1e7, BNNorm)
+	mid := run(16, BNNorm)
+
+	if d := logitsDist(huge, noAdapt); d > 0.02 {
+		t.Fatalf("huge prior should reduce BN-Norm to No-Adapt (dist %.4f)", d)
+	}
+	dPure := logitsDist(pure, noAdapt)
+	dMid := logitsDist(mid, noAdapt)
+	if !(dMid < dPure && dMid > 0.01) {
+		t.Fatalf("mid prior should land between: pure %.4f, mid %.4f", dPure, dMid)
+	}
+}
+
+// TestSourcePriorDoesNotLeakAcrossAlgorithms: constructing BN-Opt or
+// NoAdapt after a prior-armed BN-Norm must clear the prior.
+func TestSourcePriorDoesNotLeakAcrossAlgorithms(t *testing.T) {
+	m := tinyModel(32)
+	if _, err := New(BNNorm, m, Config{SourcePrior: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(BNOpt, m, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bn := range m.BatchNorms() {
+		if bn.SourcePrior != 0 {
+			t.Fatal("BN-Opt must clear the source prior")
+		}
+	}
+	if _, err := New(BNNorm, m, Config{SourcePrior: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(NoAdapt, m, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bn := range m.BatchNorms() {
+		if bn.SourcePrior != 0 {
+			t.Fatal("NoAdapt must clear the source prior")
+		}
+	}
+}
+
+// TestSourcePriorResetStable: Reset must reproduce identical outputs for a
+// prior-armed adapter (source snapshot is re-taken from pristine stats).
+func TestSourcePriorResetStable(t *testing.T) {
+	m := tinyModel(33)
+	a, err := New(BNNorm, m, Config{SourcePrior: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(4, 3, 32, 32)
+	x.Uniform(rng, 0, 1)
+	y1 := a.Process(x).Clone()
+	a.Process(x) // drift running stats
+	a.Reset()
+	y2 := a.Process(x).Clone()
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatal("Reset did not restore prior-armed BN-Norm state")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+
+	"edgetta/internal/data"
+	"edgetta/internal/nn"
+)
+
+// StreamResult summarizes online adaptation over one test stream.
+type StreamResult struct {
+	Samples   int
+	Correct   int
+	Batches   int
+	ErrorRate float64 // 1 − accuracy, in [0,1]
+}
+
+// RunStream executes the paper's online protocol: the adapter processes
+// the stream batch by batch (inference plus adaptation at every batch) and
+// prediction error is accumulated over the whole stream. The adapter is
+// Reset first so each stream is an independent episode.
+func RunStream(a Adapter, s *data.Stream, batchSize int) StreamResult {
+	a.Reset()
+	var res StreamResult
+	for {
+		x, labels, ok := s.Next(batchSize)
+		if !ok {
+			break
+		}
+		logits := a.Process(x)
+		preds := logits.ArgmaxRows()
+		for i, p := range preds {
+			if p == labels[i] {
+				res.Correct++
+			}
+		}
+		res.Samples += len(labels)
+		res.Batches++
+	}
+	if res.Samples > 0 {
+		res.ErrorRate = 1 - float64(res.Correct)/float64(res.Samples)
+	}
+	return res
+}
+
+// AverageErrorOverCorruptions runs one stream per corruption family at the
+// given severity and returns the mean error rate — the quantity Fig. 2
+// plots ("average prediction errors for CIFAR-10-C").
+func AverageErrorOverCorruptions(a Adapter, gen *data.Generator, seed int64,
+	samplesPerCorruption, batchSize, severity int) float64 {
+	total := 0.0
+	for i, c := range data.AllCorruptions {
+		s := gen.NewStream(seed+int64(i), samplesPerCorruption, c, severity)
+		total += RunStream(a, s, batchSize).ErrorRate
+	}
+	return total / float64(len(data.AllCorruptions))
+}
+
+// VerifyOnlyBNAdapted reports whether every non-BN parameter of the model
+// equals its value in ref. The adaptation algorithms must touch nothing
+// but BN state; tests and examples use this as a safety check.
+func VerifyOnlyBNAdapted(params, ref []*nn.Param) bool {
+	if len(params) != len(ref) {
+		return false
+	}
+	for i, p := range params {
+		// BN params are named ...gamma / ...beta by construction.
+		if strings.HasSuffix(p.Name, ".gamma") || strings.HasSuffix(p.Name, ".beta") {
+			continue
+		}
+		for j := range p.Data {
+			if p.Data[j] != ref[i].Data[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

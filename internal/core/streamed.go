@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"edgetta/internal/models"
+	"edgetta/internal/nn"
+	"edgetta/internal/tensor"
+)
+
+// StreamedBNNorm is the memory-bounded variant of BN-Norm suggested by the
+// paper's insight (v) ("algorithms should minimize memory high water mark
+// — streaming approaches?"): instead of materializing the whole adaptation
+// batch, it forwards micro-chunks whose BN statistics accumulate into the
+// running estimates (momentum updates), then predicts with the accumulated
+// statistics in eval mode. Peak activation memory scales with the chunk
+// size rather than the adaptation batch size, at the price of one extra
+// forward pass over the data.
+type StreamedBNNorm struct {
+	m     *models.Model
+	bns   []*nn.BatchNorm2d
+	snap  *bnSnapshot
+	chunk int
+}
+
+// NewStreamedBNNorm builds the adapter with the given micro-chunk size.
+func NewStreamedBNNorm(m *models.Model, chunk int) (*StreamedBNNorm, error) {
+	if chunk < 2 {
+		return nil, fmt.Errorf("core: streamed BN-Norm needs chunk ≥ 2, got %d", chunk)
+	}
+	bns := m.BatchNorms()
+	a := &StreamedBNNorm{m: m, bns: bns, snap: snapshotBN(bns), chunk: chunk}
+	a.arm()
+	return a, nil
+}
+
+func (a *StreamedBNNorm) arm() {
+	for _, bn := range a.bns {
+		bn.UseBatchStats = false
+		bn.SourcePrior = 0
+		// Faster tracking than PyTorch's default 0.1: a few chunks should
+		// dominate the stale source statistics.
+		bn.Momentum = 0.3
+	}
+}
+
+// Algorithm implements Adapter; the streamed variant reports BNNorm since
+// it computes the same statistics by other means.
+func (a *StreamedBNNorm) Algorithm() Algorithm { return BNNorm }
+
+// Chunk returns the micro-batch size that bounds peak activation memory.
+func (a *StreamedBNNorm) Chunk() int { return a.chunk }
+
+// Process implements Adapter: phase 1 streams micro-chunks through the
+// network in train mode (only to update each BN layer's running
+// statistics — activations of at most chunk images are ever live); phase 2
+// predicts the full batch in eval mode with the refreshed statistics.
+// Phase 2 also proceeds chunk-wise so the activation high-water mark stays
+// chunk-bounded.
+func (a *StreamedBNNorm) Process(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	imgLen := x.Numel() / n
+	for lo := 0; lo < n; lo += a.chunk {
+		hi := lo + a.chunk
+		if hi > n {
+			hi = n
+		}
+		sub := tensor.FromSlice(x.Data[lo*imgLen:hi*imgLen], hi-lo, x.Dim(1), x.Dim(2), x.Dim(3))
+		a.m.Forward(sub, true) // train mode: BN momentum-updates running stats
+	}
+	var out *tensor.Tensor
+	for lo := 0; lo < n; lo += a.chunk {
+		hi := lo + a.chunk
+		if hi > n {
+			hi = n
+		}
+		sub := tensor.FromSlice(x.Data[lo*imgLen:hi*imgLen], hi-lo, x.Dim(1), x.Dim(2), x.Dim(3))
+		logits := a.m.Forward(sub, false)
+		if out == nil {
+			out = tensor.New(n, logits.Dim(1))
+		}
+		copy(out.Data[lo*logits.Dim(1):hi*logits.Dim(1)], logits.Data)
+	}
+	return out
+}
+
+// Reset implements Adapter.
+func (a *StreamedBNNorm) Reset() {
+	a.snap.restore(a.bns)
+	a.arm()
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgetta/internal/data"
+	"edgetta/internal/tensor"
+)
+
+func TestStreamedBNNormRejectsTinyChunk(t *testing.T) {
+	if _, err := NewStreamedBNNorm(tinyModel(40), 1); err == nil {
+		t.Fatal("chunk 1 must be rejected (no variance)")
+	}
+}
+
+func TestStreamedBNNormShapesAndDeterminism(t *testing.T) {
+	m := tinyModel(41)
+	a, err := NewStreamedBNNorm(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(20, 3, 32, 32)
+	x.Uniform(rng, 0, 1)
+	y := a.Process(x)
+	if y.Dim(0) != 20 || y.Dim(1) != 10 {
+		t.Fatalf("logits shape %v", y.Shape())
+	}
+	a.Reset()
+	y2 := a.Process(x)
+	for i := range y.Data {
+		if y.Data[i] != y2.Data[i] {
+			t.Fatal("Reset + Process must be deterministic")
+		}
+	}
+	if a.Chunk() != 8 || a.Algorithm() != BNNorm {
+		t.Fatal("metadata wrong")
+	}
+}
+
+// TestStreamedApproximatesBatchBNNorm: on a strongly shifted batch, the
+// streamed statistics should land close to the exact batch statistics —
+// much closer than frozen source statistics do.
+func TestStreamedApproximatesBatchBNNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(32, 3, 32, 32)
+	x.Uniform(rng, 0, 1)
+	for i := range x.Data {
+		x.Data[i] = x.Data[i]*0.3 + 0.6
+	}
+	exact := func() *tensor.Tensor {
+		m := tinyModel(42)
+		a, _ := New(BNNorm, m, Config{})
+		return a.Process(x).Clone()
+	}()
+	frozen := func() *tensor.Tensor {
+		m := tinyModel(42)
+		a, _ := New(NoAdapt, m, Config{})
+		return a.Process(x).Clone()
+	}()
+	streamed := func() *tensor.Tensor {
+		m := tinyModel(42)
+		a, err := NewStreamedBNNorm(m, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A few passes over the batch, as a stream would provide.
+		var y *tensor.Tensor
+		for i := 0; i < 3; i++ {
+			y = a.Process(x)
+		}
+		return y.Clone()
+	}()
+	dist := func(a, b *tensor.Tensor) float64 {
+		d := 0.0
+		for i := range a.Data {
+			d += math.Abs(float64(a.Data[i] - b.Data[i]))
+		}
+		return d / float64(len(a.Data))
+	}
+	dStream, dFrozen := dist(streamed, exact), dist(frozen, exact)
+	if dStream >= dFrozen/2 {
+		t.Fatalf("streamed stats should approach exact BN-Norm: %.4f vs frozen %.4f", dStream, dFrozen)
+	}
+}
+
+// TestStreamedImprovesCorruptedStream: on the trained tiny model, streamed
+// BN-Norm must recover most of BN-Norm's win over No-Adapt.
+func TestStreamedImprovesCorruptedStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training integration skipped in -short")
+	}
+	m, gen := getTrained(t)
+	errOf := func(build func() Adapter) float64 {
+		a := build()
+		total := 0.0
+		cs := []data.Corruption{data.Fog, data.Contrast}
+		for i, c := range cs {
+			total += RunStream(a, gen.NewStream(int64(1500+i), 400, c, 5), 50).ErrorRate
+		}
+		return total / float64(len(cs))
+	}
+	eNo := errOf(func() Adapter { a, _ := New(NoAdapt, m, Config{}); return a })
+	eStream := errOf(func() Adapter { a, _ := NewStreamedBNNorm(m, 10); return a })
+	eExact := errOf(func() Adapter { a, _ := New(BNNorm, m, Config{}); return a })
+	t.Logf("no-adapt %.3f, streamed %.3f, exact bn-norm %.3f", eNo, eStream, eExact)
+	if eStream >= eNo-0.02 {
+		t.Fatalf("streamed BN-Norm (%.3f) should clearly beat No-Adapt (%.3f)", eStream, eNo)
+	}
+	if eStream > eExact+0.05 {
+		t.Fatalf("streamed BN-Norm (%.3f) should be close to exact (%.3f)", eStream, eExact)
+	}
+}

@@ -1,0 +1,589 @@
+// Package data provides the study's image substrate: a deterministic
+// synthetic 10-class dataset standing in for CIFAR-10 ("SynCIFAR"), the 15
+// CIFAR-10-C corruption families at 5 severity levels, the AugMix-lite
+// robust-training augmentation, and streaming batch iterators for online
+// test-time adaptation.
+//
+// Images are float32 CHW planes in [0, 1] with 3 channels.
+package data
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Corruption enumerates the 15 CIFAR-10-C corruption families
+// (Hendrycks & Dietterich), reimplemented for 3×H×W float32 images.
+type Corruption int
+
+// The corruption families, in CIFAR-10-C's canonical order.
+const (
+	GaussianNoise Corruption = iota
+	ShotNoise
+	ImpulseNoise
+	DefocusBlur
+	GlassBlur
+	MotionBlur
+	ZoomBlur
+	Snow
+	Frost
+	Fog
+	Brightness
+	Contrast
+	ElasticTransform
+	Pixelate
+	JPEG
+)
+
+// NumCorruptions is the corruption family count.
+const NumCorruptions = 15
+
+// AllCorruptions lists every corruption family.
+var AllCorruptions = []Corruption{
+	GaussianNoise, ShotNoise, ImpulseNoise, DefocusBlur, GlassBlur,
+	MotionBlur, ZoomBlur, Snow, Frost, Fog, Brightness, Contrast,
+	ElasticTransform, Pixelate, JPEG,
+}
+
+var corruptionNames = [...]string{
+	"gaussian_noise", "shot_noise", "impulse_noise", "defocus_blur",
+	"glass_blur", "motion_blur", "zoom_blur", "snow", "frost", "fog",
+	"brightness", "contrast", "elastic_transform", "pixelate", "jpeg",
+}
+
+// String returns the CIFAR-10-C corruption name.
+func (c Corruption) String() string {
+	if c < 0 || int(c) >= len(corruptionNames) {
+		return "unknown"
+	}
+	return corruptionNames[c]
+}
+
+// MaxSeverity is the highest severity level, matching CIFAR-10-C.
+const MaxSeverity = 5
+
+// Apply returns a corrupted copy of img (3 channels of h×w in [0,1]) at the
+// given severity in [1, MaxSeverity]. Stochastic corruptions draw from rng,
+// so results are reproducible for a fixed seed.
+func Apply(c Corruption, img []float32, h, w, severity int, rng *rand.Rand) []float32 {
+	if severity < 1 {
+		severity = 1
+	}
+	if severity > MaxSeverity {
+		severity = MaxSeverity
+	}
+	out := append([]float32(nil), img...)
+	s := severity - 1
+	switch c {
+	case GaussianNoise:
+		sigma := [5]float32{0.06, 0.10, 0.14, 0.20, 0.26}[s]
+		for i := range out {
+			out[i] += float32(rng.NormFloat64()) * sigma
+		}
+	case ShotNoise:
+		// Gaussian approximation of Poisson photon noise: variance ∝ signal.
+		scale := [5]float32{0.10, 0.16, 0.22, 0.30, 0.38}[s]
+		for i := range out {
+			v := out[i]
+			if v < 0 {
+				v = 0
+			}
+			out[i] += float32(rng.NormFloat64()) * scale * float32(math.Sqrt(float64(v)+0.01))
+		}
+	case ImpulseNoise:
+		p := [5]float32{0.01, 0.03, 0.06, 0.10, 0.17}[s]
+		plane := h * w
+		for i := 0; i < plane; i++ {
+			if rng.Float32() < p {
+				v := float32(0)
+				if rng.Float32() < 0.5 {
+					v = 1
+				}
+				for ch := 0; ch < 3; ch++ {
+					out[ch*plane+i] = v
+				}
+			}
+		}
+	case DefocusBlur:
+		radius := [5]float64{0.8, 1.2, 1.6, 2.2, 2.8}[s]
+		out = convolveEach(out, h, w, diskKernel(radius))
+	case GlassBlur:
+		iters := [5]int{1, 1, 2, 3, 4}[s]
+		delta := [5]int{1, 2, 2, 2, 3}[s]
+		plane := h * w
+		for it := 0; it < iters; it++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					dy, dx := rng.Intn(2*delta+1)-delta, rng.Intn(2*delta+1)-delta
+					ny, nx := clampInt(y+dy, 0, h-1), clampInt(x+dx, 0, w-1)
+					for ch := 0; ch < 3; ch++ {
+						a, b := ch*plane+y*w+x, ch*plane+ny*w+nx
+						out[a], out[b] = out[b], out[a]
+					}
+				}
+			}
+		}
+		out = convolveEach(out, h, w, diskKernel(0.7))
+	case MotionBlur:
+		length := [5]int{3, 5, 7, 9, 11}[s]
+		angle := rng.Float64() * math.Pi
+		out = convolveEach(out, h, w, motionKernel(length, angle))
+	case ZoomBlur:
+		maxZoom := [5]float64{1.06, 1.11, 1.16, 1.21, 1.26}[s]
+		out = zoomBlur(out, h, w, maxZoom)
+	case Snow:
+		amount := [5]float32{0.10, 0.15, 0.22, 0.28, 0.35}[s]
+		out = snow(out, h, w, amount, rng)
+	case Frost:
+		strength := [5]float32{0.25, 0.33, 0.42, 0.52, 0.62}[s]
+		out = frost(out, h, w, strength, rng)
+	case Fog:
+		t := [5]float32{0.25, 0.35, 0.45, 0.55, 0.65}[s]
+		f := plasma(h, w, rng)
+		plane := h * w
+		for ch := 0; ch < 3; ch++ {
+			for i := 0; i < plane; i++ {
+				fogv := 0.7 + 0.3*f[i]
+				out[ch*plane+i] = out[ch*plane+i]*(1-t) + t*fogv
+			}
+		}
+	case Brightness:
+		b := [5]float32{0.10, 0.18, 0.26, 0.34, 0.42}[s]
+		for i := range out {
+			out[i] += b
+		}
+	case Contrast:
+		cf := [5]float32{0.70, 0.55, 0.42, 0.30, 0.20}[s]
+		mean := float32(0)
+		for _, v := range out {
+			mean += v
+		}
+		mean /= float32(len(out))
+		for i := range out {
+			out[i] = (out[i]-mean)*cf + mean
+		}
+	case ElasticTransform:
+		amp := [5]float64{1.0, 1.6, 2.2, 2.8, 3.5}[s]
+		out = elastic(out, h, w, amp, rng)
+	case Pixelate:
+		factor := [5]int{2, 2, 3, 4, 5}[s]
+		out = pixelate(out, h, w, factor)
+	case JPEG:
+		quant := [5]float32{6, 10, 14, 20, 28}[s]
+		out = jpegQuantize(out, h, w, quant)
+	default:
+		panic("data: unknown corruption")
+	}
+	clamp01(out)
+	return out
+}
+
+func clamp01(v []float32) {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		} else if x > 1 {
+			v[i] = 1
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// kernel is a small dense convolution kernel with odd side length.
+type kernel struct {
+	side int
+	w    []float32
+}
+
+func diskKernel(radius float64) kernel {
+	r := int(math.Ceil(radius))
+	side := 2*r + 1
+	k := kernel{side: side, w: make([]float32, side*side)}
+	sum := float32(0)
+	for y := -r; y <= r; y++ {
+		for x := -r; x <= r; x++ {
+			if float64(x*x+y*y) <= radius*radius+0.5 {
+				k.w[(y+r)*side+(x+r)] = 1
+				sum++
+			}
+		}
+	}
+	for i := range k.w {
+		k.w[i] /= sum
+	}
+	return k
+}
+
+func motionKernel(length int, angle float64) kernel {
+	r := length / 2
+	side := 2*r + 1
+	k := kernel{side: side, w: make([]float32, side*side)}
+	dx, dy := math.Cos(angle), math.Sin(angle)
+	n := float32(0)
+	for t := -r; t <= r; t++ {
+		x := clampInt(int(math.Round(float64(t)*dx))+r, 0, side-1)
+		y := clampInt(int(math.Round(float64(t)*dy))+r, 0, side-1)
+		if k.w[y*side+x] == 0 {
+			k.w[y*side+x] = 1
+			n++
+		}
+	}
+	for i := range k.w {
+		k.w[i] /= n
+	}
+	return k
+}
+
+// convolveEach applies the kernel to each channel with edge clamping.
+func convolveEach(img []float32, h, w int, k kernel) []float32 {
+	out := make([]float32, len(img))
+	r := k.side / 2
+	plane := h * w
+	for ch := 0; ch < 3; ch++ {
+		src := img[ch*plane : (ch+1)*plane]
+		dst := out[ch*plane : (ch+1)*plane]
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				s := float32(0)
+				for ky := -r; ky <= r; ky++ {
+					for kx := -r; kx <= r; kx++ {
+						wv := k.w[(ky+r)*k.side+(kx+r)]
+						if wv == 0 {
+							continue
+						}
+						sy, sx := clampInt(y+ky, 0, h-1), clampInt(x+kx, 0, w-1)
+						s += wv * src[sy*w+sx]
+					}
+				}
+				dst[y*w+x] = s
+			}
+		}
+	}
+	return out
+}
+
+// bilinear samples channel plane src (h×w) at fractional (y, x) with edge
+// clamping.
+func bilinear(src []float32, h, w int, y, x float64) float32 {
+	y0 := clampInt(int(math.Floor(y)), 0, h-1)
+	x0 := clampInt(int(math.Floor(x)), 0, w-1)
+	y1, x1 := clampInt(y0+1, 0, h-1), clampInt(x0+1, 0, w-1)
+	fy, fx := float32(y-float64(y0)), float32(x-float64(x0))
+	if fy < 0 {
+		fy = 0
+	}
+	if fx < 0 {
+		fx = 0
+	}
+	top := src[y0*w+x0]*(1-fx) + src[y0*w+x1]*fx
+	bot := src[y1*w+x0]*(1-fx) + src[y1*w+x1]*fx
+	return top*(1-fy) + bot*fy
+}
+
+func zoomBlur(img []float32, h, w int, maxZoom float64) []float32 {
+	const steps = 6
+	out := make([]float32, len(img))
+	copy(out, img)
+	plane := h * w
+	cy, cx := float64(h-1)/2, float64(w-1)/2
+	for step := 1; step <= steps; step++ {
+		z := 1 + (maxZoom-1)*float64(step)/steps
+		for ch := 0; ch < 3; ch++ {
+			src := img[ch*plane : (ch+1)*plane]
+			dst := out[ch*plane : (ch+1)*plane]
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					sy := cy + (float64(y)-cy)/z
+					sx := cx + (float64(x)-cx)/z
+					dst[y*w+x] += bilinear(src, h, w, sy, sx)
+				}
+			}
+		}
+	}
+	inv := float32(1.0 / (steps + 1))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+func snow(img []float32, h, w int, amount float32, rng *rand.Rand) []float32 {
+	plane := h * w
+	// Sparse bright seeds, streaked diagonally to look like falling snow.
+	layer := make([]float32, plane)
+	for i := range layer {
+		if rng.Float32() < amount*0.08 {
+			layer[i] = 0.8 + 0.2*rng.Float32()
+		}
+	}
+	streak := convolveEach(append(append(append([]float32(nil), layer...), layer...), layer...),
+		h, w, motionKernel(5, math.Pi/3))[:plane]
+	out := append([]float32(nil), img...)
+	for ch := 0; ch < 3; ch++ {
+		for i := 0; i < plane; i++ {
+			sv := streak[i] * 3 // undo kernel averaging so flakes stay bright
+			if sv > 1 {
+				sv = 1
+			}
+			v := out[ch*plane+i]
+			// Whiten the scene slightly and composite the flakes on top.
+			v = v*(1-0.3*amount) + 0.3*amount
+			out[ch*plane+i] = v*(1-sv) + sv
+		}
+	}
+	return out
+}
+
+func frost(img []float32, h, w int, strength float32, rng *rand.Rand) []float32 {
+	plane := h * w
+	f := plasma(h, w, rng)
+	// Threshold the plasma into crystalline patches.
+	for i, v := range f {
+		if v > 0.55 {
+			f[i] = (v - 0.55) / 0.45
+		} else {
+			f[i] = 0
+		}
+	}
+	out := append([]float32(nil), img...)
+	for ch := 0; ch < 3; ch++ {
+		tint := [3]float32{0.85, 0.9, 1.0}[ch] // icy blue-white
+		for i := 0; i < plane; i++ {
+			a := strength * f[i]
+			out[ch*plane+i] = out[ch*plane+i]*(1-a) + a*tint
+		}
+	}
+	return out
+}
+
+// plasma generates an h×w diamond-square fractal field in [0,1], the
+// classic procedural texture for fog and frost.
+func plasma(h, w int, rng *rand.Rand) []float32 {
+	size := 1
+	for size < h || size < w {
+		size *= 2
+	}
+	n := size + 1
+	g := make([]float64, n*n)
+	g[0], g[size], g[size*n], g[size*n+size] =
+		rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()
+	scale := 0.5
+	for step := size; step > 1; step /= 2 {
+		half := step / 2
+		// Diamond step.
+		for y := half; y < n; y += step {
+			for x := half; x < n; x += step {
+				avg := (g[(y-half)*n+x-half] + g[(y-half)*n+x+half] +
+					g[(y+half)*n+x-half] + g[(y+half)*n+x+half]) / 4
+				g[y*n+x] = avg + (rng.Float64()-0.5)*scale
+			}
+		}
+		// Square step.
+		for y := 0; y < n; y += half {
+			start := half
+			if (y/half)%2 == 1 {
+				start = 0
+			}
+			for x := start; x < n; x += step {
+				sum, cnt := 0.0, 0.0
+				if y >= half {
+					sum += g[(y-half)*n+x]
+					cnt++
+				}
+				if y+half < n {
+					sum += g[(y+half)*n+x]
+					cnt++
+				}
+				if x >= half {
+					sum += g[y*n+x-half]
+					cnt++
+				}
+				if x+half < n {
+					sum += g[y*n+x+half]
+					cnt++
+				}
+				g[y*n+x] = sum/cnt + (rng.Float64()-0.5)*scale
+			}
+		}
+		scale *= 0.55
+	}
+	// Normalize the h×w crop to [0,1].
+	out := make([]float32, h*w)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := g[y*n+x]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	span := hi - lo
+	if span < 1e-9 {
+		span = 1
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out[y*w+x] = float32((g[y*n+x] - lo) / span)
+		}
+	}
+	return out
+}
+
+func elastic(img []float32, h, w int, amp float64, rng *rand.Rand) []float32 {
+	// Coarse 4×4 displacement grid, bilinearly upsampled — a smooth random
+	// warp field.
+	const grid = 4
+	dyg := make([]float64, grid*grid)
+	dxg := make([]float64, grid*grid)
+	for i := range dyg {
+		dyg[i] = (rng.Float64()*2 - 1) * amp
+		dxg[i] = (rng.Float64()*2 - 1) * amp
+	}
+	sample := func(g []float64, y, x int) float64 {
+		gy := float64(y) / float64(h-1) * (grid - 1)
+		gx := float64(x) / float64(w-1) * (grid - 1)
+		y0, x0 := int(gy), int(gx)
+		y1, x1 := clampInt(y0+1, 0, grid-1), clampInt(x0+1, 0, grid-1)
+		fy, fx := gy-float64(y0), gx-float64(x0)
+		top := g[y0*grid+x0]*(1-fx) + g[y0*grid+x1]*fx
+		bot := g[y1*grid+x0]*(1-fx) + g[y1*grid+x1]*fx
+		return top*(1-fy) + bot*fy
+	}
+	out := make([]float32, len(img))
+	plane := h * w
+	for ch := 0; ch < 3; ch++ {
+		src := img[ch*plane : (ch+1)*plane]
+		dst := out[ch*plane : (ch+1)*plane]
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				sy := float64(y) + sample(dyg, y, x)
+				sx := float64(x) + sample(dxg, y, x)
+				dst[y*w+x] = bilinear(src, h, w, sy, sx)
+			}
+		}
+	}
+	return out
+}
+
+func pixelate(img []float32, h, w, factor int) []float32 {
+	out := make([]float32, len(img))
+	plane := h * w
+	for ch := 0; ch < 3; ch++ {
+		src := img[ch*plane : (ch+1)*plane]
+		dst := out[ch*plane : (ch+1)*plane]
+		for by := 0; by < h; by += factor {
+			for bx := 0; bx < w; bx += factor {
+				s, n := float32(0), float32(0)
+				for y := by; y < by+factor && y < h; y++ {
+					for x := bx; x < bx+factor && x < w; x++ {
+						s += src[y*w+x]
+						n++
+					}
+				}
+				avg := s / n
+				for y := by; y < by+factor && y < h; y++ {
+					for x := bx; x < bx+factor && x < w; x++ {
+						dst[y*w+x] = avg
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// dct8 holds the 8-point DCT-II basis used by the JPEG-style corruption.
+var dct8 [8][8]float64
+
+func init() {
+	for k := 0; k < 8; k++ {
+		for i := 0; i < 8; i++ {
+			dct8[k][i] = math.Cos(math.Pi * float64(k) * (2*float64(i) + 1) / 16)
+		}
+	}
+}
+
+// jpegQuantize applies a real 8×8 blockwise DCT, quantizes the
+// coefficients (more coarsely at higher frequency, like a JPEG table),
+// and inverts — reproducing blocky JPEG artifacts.
+func jpegQuantize(img []float32, h, w int, quant float32) []float32 {
+	out := make([]float32, len(img))
+	plane := h * w
+	var block, coef [8][8]float64
+	for ch := 0; ch < 3; ch++ {
+		src := img[ch*plane : (ch+1)*plane]
+		dst := out[ch*plane : (ch+1)*plane]
+		for by := 0; by < h; by += 8 {
+			for bx := 0; bx < w; bx += 8 {
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						sy, sx := clampInt(by+y, 0, h-1), clampInt(bx+x, 0, w-1)
+						block[y][x] = float64(src[sy*w+sx])*255 - 128
+					}
+				}
+				// Forward 2-D DCT-II.
+				for u := 0; u < 8; u++ {
+					for v := 0; v < 8; v++ {
+						s := 0.0
+						for y := 0; y < 8; y++ {
+							for x := 0; x < 8; x++ {
+								s += block[y][x] * dct8[u][y] * dct8[v][x]
+							}
+						}
+						cu, cv := 1.0, 1.0
+						if u == 0 {
+							cu = math.Sqrt2 / 2
+						}
+						if v == 0 {
+							cv = math.Sqrt2 / 2
+						}
+						coef[u][v] = s * cu * cv / 4
+					}
+				}
+				// Quantize: step grows with frequency, scaled by quant.
+				for u := 0; u < 8; u++ {
+					for v := 0; v < 8; v++ {
+						step := float64(quant) * (1 + float64(u+v)/2)
+						coef[u][v] = math.Round(coef[u][v]/step) * step
+					}
+				}
+				// Inverse DCT.
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						s := 0.0
+						for u := 0; u < 8; u++ {
+							for v := 0; v < 8; v++ {
+								cu, cv := 1.0, 1.0
+								if u == 0 {
+									cu = math.Sqrt2 / 2
+								}
+								if v == 0 {
+									cv = math.Sqrt2 / 2
+								}
+								s += cu * cv * coef[u][v] * dct8[u][y] * dct8[v][x]
+							}
+						}
+						sy, sx := by+y, bx+x
+						if sy < h && sx < w {
+							dst[sy*w+sx] = float32((s/4 + 128) / 255)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

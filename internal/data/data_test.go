@@ -1,0 +1,255 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testImage(seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGenerator(7)
+	return g.Sample(rng, rng.Intn(NumClasses))
+}
+
+func TestAllCorruptionsPreserveRangeAndShape(t *testing.T) {
+	img := testImage(1)
+	for _, c := range AllCorruptions {
+		for sev := 1; sev <= MaxSeverity; sev++ {
+			rng := rand.New(rand.NewSource(42))
+			out := Apply(c, img, ImageSize, ImageSize, sev, rng)
+			if len(out) != len(img) {
+				t.Fatalf("%v sev %d: length %d, want %d", c, sev, len(out), len(img))
+			}
+			for i, v := range out {
+				if v < 0 || v > 1 || math.IsNaN(float64(v)) {
+					t.Fatalf("%v sev %d: pixel %d out of range: %v", c, sev, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestCorruptionsDoNotMutateInput(t *testing.T) {
+	img := testImage(2)
+	orig := append([]float32(nil), img...)
+	for _, c := range AllCorruptions {
+		Apply(c, img, ImageSize, ImageSize, 5, rand.New(rand.NewSource(1)))
+		for i := range img {
+			if img[i] != orig[i] {
+				t.Fatalf("%v mutated its input at %d", c, i)
+			}
+		}
+	}
+}
+
+func TestCorruptionsDeterministicForSeed(t *testing.T) {
+	img := testImage(3)
+	for _, c := range AllCorruptions {
+		a := Apply(c, img, ImageSize, ImageSize, 3, rand.New(rand.NewSource(9)))
+		b := Apply(c, img, ImageSize, ImageSize, 3, rand.New(rand.NewSource(9)))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: nondeterministic at pixel %d", c, i)
+			}
+		}
+	}
+}
+
+func TestCorruptionsActuallyCorrupt(t *testing.T) {
+	img := testImage(4)
+	for _, c := range AllCorruptions {
+		out := Apply(c, img, ImageSize, ImageSize, 5, rand.New(rand.NewSource(5)))
+		d := 0.0
+		for i := range img {
+			diff := float64(out[i] - img[i])
+			d += diff * diff
+		}
+		rmse := math.Sqrt(d / float64(len(img)))
+		if rmse < 0.01 {
+			t.Errorf("%v sev 5: rmse %.4f — corruption is a near no-op", c, rmse)
+		}
+	}
+}
+
+// Distortion should broadly grow with severity (monotone within a small
+// slack, since some families are stochastic).
+func TestSeverityMonotonicity(t *testing.T) {
+	img := testImage(5)
+	for _, c := range AllCorruptions {
+		prev := -1.0
+		for sev := 1; sev <= MaxSeverity; sev++ {
+			// Average over a few seeds to tame stochastic families.
+			total := 0.0
+			for seed := int64(0); seed < 4; seed++ {
+				out := Apply(c, img, ImageSize, ImageSize, sev, rand.New(rand.NewSource(seed)))
+				d := 0.0
+				for i := range img {
+					diff := float64(out[i] - img[i])
+					d += diff * diff
+				}
+				total += math.Sqrt(d / float64(len(img)))
+			}
+			rmse := total / 4
+			if rmse < prev*0.85 {
+				t.Errorf("%v: rmse dropped from %.4f (sev %d) to %.4f (sev %d)", c, prev, sev-1, rmse, sev)
+			}
+			prev = rmse
+		}
+	}
+}
+
+func TestCorruptionNames(t *testing.T) {
+	if GaussianNoise.String() != "gaussian_noise" || JPEG.String() != "jpeg" {
+		t.Fatalf("bad names: %v %v", GaussianNoise, JPEG)
+	}
+	if Corruption(99).String() != "unknown" {
+		t.Fatal("out-of-range corruption should stringify as unknown")
+	}
+	if len(AllCorruptions) != NumCorruptions {
+		t.Fatalf("AllCorruptions has %d entries", len(AllCorruptions))
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, b := NewGenerator(11), NewGenerator(11)
+	ra, rb := rand.New(rand.NewSource(3)), rand.New(rand.NewSource(3))
+	for i := 0; i < 5; i++ {
+		sa, sb := a.Sample(ra, i%NumClasses), b.Sample(rb, i%NumClasses)
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("sample %d differs at %d", i, j)
+			}
+		}
+	}
+	c := NewGenerator(12)
+	rc := rand.New(rand.NewSource(3))
+	diff := 0.0
+	sc := c.Sample(rc, 0)
+	sa := a.Sample(rand.New(rand.NewSource(3)), 0)
+	for j := range sa {
+		diff += math.Abs(float64(sa[j] - sc[j]))
+	}
+	if diff < 1 {
+		t.Fatal("different generator seeds should produce different datasets")
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// Mean inter-class template distance must dominate intra-class noise,
+	// otherwise no model could learn the dataset.
+	g := NewGenerator(13)
+	rng := rand.New(rand.NewSource(1))
+	inter := 0.0
+	n := 0
+	for a := 0; a < NumClasses; a++ {
+		for b := a + 1; b < NumClasses; b++ {
+			d := 0.0
+			for i := range g.templates[a] {
+				diff := float64(g.templates[a][i] - g.templates[b][i])
+				d += diff * diff
+			}
+			inter += math.Sqrt(d / float64(len(g.templates[a])))
+			n++
+		}
+	}
+	inter /= float64(n)
+	intra := 0.0
+	for trial := 0; trial < 10; trial++ {
+		s := g.Sample(rng, 0)
+		d := 0.0
+		for i := range s {
+			diff := float64(s[i] - g.templates[0][i])
+			d += diff * diff
+		}
+		intra += math.Sqrt(d / float64(len(s)))
+	}
+	intra /= 10
+	if inter < intra {
+		t.Fatalf("classes not separable: inter %.4f <= intra %.4f", inter, intra)
+	}
+}
+
+func TestBatchShapesAndLabels(t *testing.T) {
+	g := NewGenerator(14)
+	x, labels := g.Batch(rand.New(rand.NewSource(2)), 6)
+	if x.Dim(0) != 6 || x.Dim(1) != 3 || x.Dim(2) != ImageSize || x.Dim(3) != ImageSize {
+		t.Fatalf("batch shape %v", x.Shape())
+	}
+	if len(labels) != 6 {
+		t.Fatalf("labels %v", labels)
+	}
+	for _, l := range labels {
+		if l < 0 || l >= NumClasses {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestStreamExhaustion(t *testing.T) {
+	g := NewGenerator(15)
+	s := g.NewStream(1, 130, GaussianNoise, 5)
+	total := 0
+	for {
+		x, labels, ok := s.Next(50)
+		if !ok {
+			break
+		}
+		if x.Dim(0) != len(labels) {
+			t.Fatalf("batch size %d vs %d labels", x.Dim(0), len(labels))
+		}
+		total += x.Dim(0)
+	}
+	if total != 130 {
+		t.Fatalf("stream yielded %d samples, want 130", total)
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("remaining %d", s.Remaining())
+	}
+}
+
+func TestCleanStream(t *testing.T) {
+	g := NewGenerator(16)
+	s := g.NewCleanStream(1, 10)
+	x, _, ok := s.Next(10)
+	if !ok || x.Dim(0) != 10 {
+		t.Fatal("clean stream failed")
+	}
+}
+
+func TestAugMixLiteProperties(t *testing.T) {
+	img := testImage(6)
+	rng := rand.New(rand.NewSource(1))
+	out := AugMixLite(rng, img, ImageSize, ImageSize)
+	if len(out) != len(img) {
+		t.Fatal("augmix changed length")
+	}
+	var diff float64
+	for i := range out {
+		if out[i] < 0 || out[i] > 1 {
+			t.Fatalf("augmix pixel %d out of range: %v", i, out[i])
+		}
+		diff += math.Abs(float64(out[i] - img[i]))
+	}
+	if diff == 0 {
+		t.Fatal("augmix was a no-op")
+	}
+	// It must stay close to the original (light augmentation, convex mix).
+	if diff/float64(len(out)) > 0.30 {
+		t.Fatalf("augmix too destructive: mean abs diff %.3f", diff/float64(len(out)))
+	}
+}
+
+// Property: severity clamping means Apply never panics for any severity.
+func TestApplySeverityClampProperty(t *testing.T) {
+	img := testImage(8)
+	f := func(sev int, cIdx uint8) bool {
+		c := AllCorruptions[int(cIdx)%len(AllCorruptions)]
+		out := Apply(c, img, ImageSize, ImageSize, sev, rand.New(rand.NewSource(1)))
+		return len(out) == len(img)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

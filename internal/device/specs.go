@@ -1,0 +1,198 @@
+// Package device implements the analytic edge-device simulator that stands
+// in for the paper's three physical boards (Ultra96-v2 PS, Raspberry Pi 4,
+// Nvidia Jetson Xavier NX). Latency, energy and peak memory are predicted
+// from real per-layer model traces (internal/profile); the handful of rate
+// constants below are calibrated against the paper's reported anchor
+// measurements and then *predict* every other cell of the study. See
+// EXPERIMENTS.md for the anchor-vs-simulated table.
+package device
+
+import "time"
+
+// EngineKind distinguishes CPU clusters from GPU accelerators.
+type EngineKind int
+
+// Engine kinds.
+const (
+	CPU EngineKind = iota
+	GPU
+)
+
+// String names the kind.
+func (k EngineKind) String() string {
+	if k == GPU {
+		return "GPU"
+	}
+	return "CPU"
+}
+
+// Engine models one compute engine of a device.
+type Engine struct {
+	Name string
+	Kind EngineKind
+
+	// MACRate is the effective conv/linear forward throughput in GMAC/s
+	// for the multi-threaded float32 PyTorch workloads of the study.
+	MACRate float64
+	// BwMult is the cost of the convolution backward pass (dX+dW) relative
+	// to forward — the paper measures ≈2.5× on the Arm CPUs and ≈2.2× on
+	// the Volta GPU (Figs. 4, 7, 10).
+	BwMult float64
+	// GroupPenalty multiplies the MAC cost of grouped convolutions
+	// (ResNeXt's cardinality): im2col-based CPU kernels block poorly per
+	// group, an effect clearly visible in the paper's ResNeXt times.
+	GroupPenalty float64
+
+	// BN element throughputs (Gelem/s): eval-mode affine pass, batch-stat
+	// (train-mode) forward, and backward. Batch-stat BN is far slower than
+	// its FLOPs suggest on every engine — it is reduction- and
+	// allocation-bound — which is exactly the BN forward blow-up the paper
+	// profiles (up to 4.7×).
+	BNEvalRate, BNTrainRate, BNBwRate float64
+	// BigBNCliff multiplies batch-stat BN cost for layers with ≥1024
+	// channels on GPUs (tiny per-channel reductions underutilize the SMs).
+	// This reproduces the paper's observation that ResNeXt's forward BN is
+	// *slower* on the NX GPU than on its CPU (Fig. 10a) while WRN/R18 are
+	// not. 1 means no cliff.
+	BigBNCliff float64
+
+	// ActRate is elementwise activation throughput (Gelem/s).
+	ActRate float64
+	// LayerOverhead is the per-layer dispatch cost (kernel launch /
+	// framework overhead), charged once per layer per pass.
+	LayerOverhead time.Duration
+
+	// PowerBusy is the board-level power draw while this engine runs the
+	// workload, in watts (the paper measures at the wall outlet).
+	PowerBusy float64
+	// PowerIdle is the draw when idle (used by the duty-cycle analyses).
+	PowerIdle float64
+}
+
+// Device models one edge platform.
+type Device struct {
+	Name string
+	Tag  string
+
+	MemBytes int64 // physical DRAM
+	// OSReserveBytes is memory the OS/display stack keeps from the
+	// workload.
+	OSReserveBytes int64
+	// RuntimeBytes is the resident footprint of the inference runtime
+	// (PyTorch + libs) on the CPU path.
+	RuntimeBytes int64
+	// GPUExtraBytes is the additional CUDA/cuDNN residency when the GPU
+	// engine is used — the paper calls this out as the reason ResNeXt
+	// BN-Opt at batch 200 dies on the NX GPU but not its CPU (Sec. IV-D).
+	GPUExtraBytes int64
+
+	Engines []Engine
+}
+
+// EngineByKind returns the device's engine of the given kind.
+func (d *Device) EngineByKind(k EngineKind) (Engine, bool) {
+	for _, e := range d.Engines {
+		if e.Kind == k {
+			return e, true
+		}
+	}
+	return Engine{}, false
+}
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+	gb = int64(1) << 30
+)
+
+// Ultra96 models the Ultra96-v2 FPGA processing system: quad Cortex-A53 @
+// 1.5 GHz, 2 GB LPDDR4 (the programmable logic is unused, as in the
+// paper). Calibration anchors: WRN-AM-50 No-Adapt 3.58 s / 4.47 J, BN-Norm
+// 3.95 s, BN-Opt 13.35 s; BN-Opt OOM for ResNeXt at batch ≥100.
+func Ultra96() *Device {
+	return &Device{
+		Name: "Ultra96-v2 (Zynq UltraScale+ PS, 4×A53)", Tag: "ultra96",
+		MemBytes: 2 * gb, OSReserveBytes: 250 * mb, RuntimeBytes: 450 * mb,
+		Engines: []Engine{{
+			Name: "4xA53", Kind: CPU,
+			MACRate: 4.9, BwMult: 2.51, GroupPenalty: 2.5,
+			BNEvalRate: 0.45, BNTrainRate: 0.085, BNBwRate: 0.057, BigBNCliff: 1,
+			ActRate: 2.0, LayerOverhead: time.Millisecond,
+			PowerBusy: 1.22, PowerIdle: 0.35,
+		}},
+	}
+}
+
+// RPi4 models the Raspberry Pi 4 Model B: quad Cortex-A72 @ 1.5 GHz, 8 GB
+// LPDDR4. Anchors: WRN-AM-50 No-Adapt 2.04 s / 5.04 J, BN-Norm 2.59 s /
+// 5.95 J, BN-Opt 7.97 s / 19.12 J; ResNeXt-200 BN-Opt 337.43 J (point A2).
+func RPi4() *Device {
+	return &Device{
+		Name: "Raspberry Pi 4 Model B (4×A72)", Tag: "rpi4",
+		MemBytes: 8 * gb, OSReserveBytes: 300 * mb, RuntimeBytes: 450 * mb,
+		Engines: []Engine{{
+			Name: "4xA72", Kind: CPU,
+			MACRate: 8.95, BwMult: 2.5, GroupPenalty: 2.5,
+			BNEvalRate: 0.25, BNTrainRate: 0.0621, BNBwRate: 0.0415, BigBNCliff: 1,
+			ActRate: 4.0, LayerOverhead: 500 * time.Microsecond,
+			PowerBusy: 2.35, PowerIdle: 2.0,
+		}},
+	}
+}
+
+// XavierNX models the Nvidia Jetson Xavier NX: 6-core Carmel CPU plus a
+// 384-core Volta GPU sharing 8 GB. Anchors: WRN-AM-50 on GPU No-Adapt
+// 0.10 s / 1.02 J, BN-Norm 0.315 s / 2.96 J (the paper's 213 ms / 1.9 J
+// adaptation overhead), BN-Opt 0.82 s / 7.96 J; ResNeXt-200 BN-Opt on CPU
+// 69.58 s (point A1) but OOM on GPU.
+func XavierNX() *Device {
+	return &Device{
+		Name: "Nvidia Jetson Xavier NX (6×Carmel + 384-core Volta)", Tag: "xaviernx",
+		MemBytes: 8 * gb, OSReserveBytes: 800 * mb, RuntimeBytes: 500 * mb,
+		GPUExtraBytes: 2800 * mb,
+		Engines: []Engine{
+			{
+				Name: "6xCarmel", Kind: CPU,
+				MACRate: 18.0, BwMult: 2.5, GroupPenalty: 2.5,
+				BNEvalRate: 0.35, BNTrainRate: 0.12, BNBwRate: 0.4, BigBNCliff: 1,
+				ActRate: 6.0, LayerOverhead: 300 * time.Microsecond,
+				PowerBusy: 5.5, PowerIdle: 2.5,
+			},
+			{
+				Name: "384-core Volta", Kind: GPU,
+				MACRate: 240, BwMult: 2.2, GroupPenalty: 1.3,
+				BNEvalRate: 2.8, BNTrainRate: 0.158, BNBwRate: 0.1017, BigBNCliff: 8,
+				ActRate: 8.0, LayerOverhead: 100 * time.Microsecond,
+				PowerBusy: 9.4, PowerIdle: 3.0,
+			},
+		},
+	}
+}
+
+// All returns the paper's three devices.
+func All() []*Device { return []*Device{Ultra96(), RPi4(), XavierNX()} }
+
+// ByTag returns the device with the given tag.
+func ByTag(tag string) (*Device, bool) {
+	for _, d := range All() {
+		if d.Tag == tag {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// Memory-model constants shared by all devices; see Estimate.
+const (
+	// graphDedup converts our trace's saved-element count (which counts a
+	// tensor once per consumer) into unique dynamic-graph bytes; PyTorch
+	// shares saved tensors between autograd nodes.
+	graphDedup = 0.53
+	// transientFraction approximates peak transient activation memory for
+	// passes that keep no graph (No-Adapt / BN-Norm).
+	transientFraction = 0.10
+	// ProfilerOverheadBytes is the extra residency of the Autograd
+	// profiler; the paper notes the profiler itself OOMs for ResNeXt on
+	// the Ultra96 (Fig. 4).
+	ProfilerOverheadBytes = 700 * mb
+)

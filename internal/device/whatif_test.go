@@ -1,0 +1,112 @@
+package device
+
+import (
+	"strings"
+	"testing"
+
+	"edgetta/internal/core"
+)
+
+func TestHypotheticalDoesNotMutateBase(t *testing.T) {
+	base := XavierNX()
+	origRate := base.Engines[1].BNTrainRate
+	h := Hypothetical(base, WithBNAccelerator(10))
+	if base.Engines[1].BNTrainRate != origRate {
+		t.Fatal("Hypothetical mutated the base device")
+	}
+	if h.Engines[1].BNTrainRate != origRate*10 {
+		t.Fatalf("variant not applied: %v", h.Engines[1].BNTrainRate)
+	}
+	if !strings.HasSuffix(h.Tag, "-whatif") {
+		t.Fatalf("tag %q should mark the hypothetical", h.Tag)
+	}
+}
+
+// TestBNAcceleratorKillsAdaptationOverhead: with a 10× BN engine, the
+// paper's 213 ms BN-Norm overhead on the NX GPU collapses, supporting
+// insight (iii) — custom accelerators can make adaptation near-free.
+func TestBNAcceleratorKillsAdaptationOverhead(t *testing.T) {
+	base := XavierNX()
+	h := Hypothetical(base, WithBNAccelerator(10))
+	p := prof(t, "WRN-AM")
+	baseOv, err := AdaptOverhead(base, GPU, p, core.BNNorm, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hOv, err := AdaptOverhead(h, GPU, p, core.BNNorm, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hOv >= baseOv/4 {
+		t.Fatalf("BN accelerator should cut the 213ms overhead ≥4x: %.3f -> %.3f", baseOv, hOv)
+	}
+	if hOv <= 0 {
+		t.Fatal("overhead must remain positive")
+	}
+}
+
+// TestBackpropAcceleratorHelpsBNOptOnly: shrinking the backward multiplier
+// must leave No-Adapt and BN-Norm times untouched.
+func TestBackpropAcceleratorHelpsBNOptOnly(t *testing.T) {
+	base := Ultra96()
+	h := Hypothetical(base, WithBackpropAccelerator(1.0))
+	p := prof(t, "WRN-AM")
+	for _, algo := range []core.Algorithm{core.NoAdapt, core.BNNorm} {
+		b, _ := Estimate(base, CPU, p, algo, 50)
+		v, _ := Estimate(h, CPU, p, algo, 50)
+		if b.Seconds != v.Seconds {
+			t.Fatalf("%s time changed: %v vs %v", algo, b.Seconds, v.Seconds)
+		}
+	}
+	b, _ := Estimate(base, CPU, p, core.BNOpt, 50)
+	v, _ := Estimate(h, CPU, p, core.BNOpt, 50)
+	if v.Seconds >= b.Seconds {
+		t.Fatal("backprop accelerator must speed up BN-Opt")
+	}
+}
+
+// TestPLOffloadRecoversBNOptOnUltra96: the paper suggests the FPGA's PL
+// side could absorb the training kernels; with a 20 GMAC/s PL the BN-Opt
+// penalty over No-Adapt should fall well below the measured 9.8 s.
+func TestPLOffloadRecoversBNOptOnUltra96(t *testing.T) {
+	base := Ultra96()
+	h := Hypothetical(base, WithPLOffload(20))
+	p := prof(t, "WRN-AM")
+	baseOv, _ := AdaptOverhead(base, CPU, p, core.BNOpt, 50)
+	hOv, _ := AdaptOverhead(h, CPU, p, core.BNOpt, 50)
+	if hOv >= baseOv/3 {
+		t.Fatalf("PL offload should cut BN-Opt overhead ≥3x: %.2fs -> %.2fs", baseOv, hOv)
+	}
+}
+
+// TestMoreMemoryFixesResNeXtOOM: insight (v) — with 8 GB the Ultra96
+// would run every configuration the paper saw die.
+func TestMoreMemoryFixesResNeXtOOM(t *testing.T) {
+	base := Ultra96()
+	h := Hypothetical(base, WithMemory(8<<30))
+	p := prof(t, "RXT-AM")
+	for _, batch := range []int{100, 200} {
+		b, _ := Estimate(base, CPU, p, core.BNOpt, batch)
+		if !b.OOM {
+			t.Fatalf("baseline RXT b%d should OOM", batch)
+		}
+		v, _ := Estimate(h, CPU, p, core.BNOpt, batch)
+		if v.OOM {
+			t.Fatalf("8GB Ultra96 should fit RXT b%d", batch)
+		}
+	}
+}
+
+// TestVariantsCompose: multiple variants apply cumulatively.
+func TestVariantsCompose(t *testing.T) {
+	h := Hypothetical(Ultra96(), WithMemory(8<<30), WithBNAccelerator(4), WithBackpropAccelerator(1.2))
+	if h.MemBytes != 8<<30 {
+		t.Fatal("memory variant lost")
+	}
+	if h.Engines[0].BigBNCliff != 1 {
+		t.Fatal("BN accelerator should remove the cliff")
+	}
+	if h.Engines[0].BwMult != 1.2 {
+		t.Fatalf("bw mult %v", h.Engines[0].BwMult)
+	}
+}

@@ -1,0 +1,258 @@
+// Package models implements the four DNN architectures of the study —
+// PreActResNet-18, WideResNet-40-2, ResNeXt-29 (4×32d) and MobileNetV2 —
+// at full scale (parameter and batch-norm counts match the paper exactly)
+// and at a reduced "repro scale" that is fast enough to train in-process
+// for the accuracy experiments.
+package models
+
+import (
+	"math/rand"
+
+	"edgetta/internal/nn"
+	"edgetta/internal/tensor"
+)
+
+// PreActBlock is the pre-activation residual block used by both
+// PreActResNet-18 and WideResNet: bn→relu→conv3×3→bn→relu→conv3×3 plus a
+// shortcut. When the shape changes, the shortcut is a 1×1 convolution of
+// the *activated* input (so the shortcut has no BatchNorm — this is what
+// makes the paper's 7808 BN-parameter count for ResNet-18 come out).
+type PreActBlock struct {
+	name         string
+	bn1, bn2     *nn.BatchNorm2d
+	relu1, relu2 *nn.ReLU
+	conv1, conv2 *nn.Conv2d
+	convSC       *nn.Conv2d // nil for identity shortcut
+
+	input *tensor.Tensor // saved for identity-shortcut backward
+}
+
+// NewPreActBlock constructs a pre-activation block in→out with the given
+// stride on the first convolution.
+func NewPreActBlock(name string, rng *rand.Rand, in, out, stride int) *PreActBlock {
+	b := &PreActBlock{
+		name:  name,
+		bn1:   nn.NewBatchNorm2d(name+".bn1", in),
+		relu1: nn.NewReLU(name + ".relu1"),
+		conv1: nn.NewConv2d(name+".conv1", rng, in, out, 3, stride, 1, 1),
+		bn2:   nn.NewBatchNorm2d(name+".bn2", out),
+		relu2: nn.NewReLU(name + ".relu2"),
+		conv2: nn.NewConv2d(name+".conv2", rng, out, out, 3, 1, 1, 1),
+	}
+	if stride != 1 || in != out {
+		b.convSC = nn.NewConv2d(name+".shortcut", rng, in, out, 1, stride, 0, 1)
+	}
+	return b
+}
+
+// Name implements nn.Layer.
+func (b *PreActBlock) Name() string { return b.name }
+
+// Params implements nn.Layer; composites report none of their own.
+func (b *PreActBlock) Params() []*nn.Param { return nil }
+
+// Spec implements nn.Layer.
+func (b *PreActBlock) Spec() nn.Spec { return nn.Spec{Kind: nn.KindComposite, LayerName: b.name} }
+
+// Children implements nn.Container.
+func (b *PreActBlock) Children() []nn.Layer {
+	ch := []nn.Layer{b.bn1, b.relu1, b.conv1, b.bn2, b.relu2, b.conv2}
+	if b.convSC != nil {
+		ch = append(ch, b.convSC)
+	}
+	return ch
+}
+
+// Forward implements nn.Layer.
+func (b *PreActBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b.input = x
+	a := b.relu1.Forward(b.bn1.Forward(x, train), train)
+	var sc *tensor.Tensor
+	if b.convSC != nil {
+		sc = b.convSC.Forward(a, train)
+	} else {
+		sc = x
+	}
+	h := b.conv1.Forward(a, train)
+	h = b.conv2.Forward(b.relu2.Forward(b.bn2.Forward(h, train), train), train)
+	h.Add(sc)
+	return h
+}
+
+// Backward implements nn.Layer.
+func (b *PreActBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dh := b.conv1.Backward(b.bn2.Backward(b.relu2.Backward(b.conv2.Backward(grad))))
+	if b.convSC != nil {
+		dh.Add(b.convSC.Backward(grad))
+		return b.bn1.Backward(b.relu1.Backward(dh))
+	}
+	dx := b.bn1.Backward(b.relu1.Backward(dh))
+	dx.Add(grad) // identity shortcut
+	return dx
+}
+
+// ResNeXtBlock is the aggregated-transform bottleneck:
+// conv1×1→bn→relu→conv3×3(grouped)→bn→relu→conv1×1→bn, plus a projection
+// shortcut (conv1×1+bn) when the shape changes, with ReLU after the sum.
+type ResNeXtBlock struct {
+	name                  string
+	conv1, conv2, conv3   *nn.Conv2d
+	bn1, bn2, bn3         *nn.BatchNorm2d
+	relu1, relu2, reluOut *nn.ReLU
+	convSC                *nn.Conv2d
+	bnSC                  *nn.BatchNorm2d
+
+	input *tensor.Tensor
+}
+
+// NewResNeXtBlock constructs a block in→out with bottleneck width d and
+// the given cardinality (groups of the 3×3 convolution).
+func NewResNeXtBlock(name string, rng *rand.Rand, in, d, out, cardinality, stride int) *ResNeXtBlock {
+	b := &ResNeXtBlock{
+		name:    name,
+		conv1:   nn.NewConv2d(name+".conv1", rng, in, d, 1, 1, 0, 1),
+		bn1:     nn.NewBatchNorm2d(name+".bn1", d),
+		relu1:   nn.NewReLU(name + ".relu1"),
+		conv2:   nn.NewConv2d(name+".conv2", rng, d, d, 3, stride, 1, cardinality),
+		bn2:     nn.NewBatchNorm2d(name+".bn2", d),
+		relu2:   nn.NewReLU(name + ".relu2"),
+		conv3:   nn.NewConv2d(name+".conv3", rng, d, out, 1, 1, 0, 1),
+		bn3:     nn.NewBatchNorm2d(name+".bn3", out),
+		reluOut: nn.NewReLU(name + ".reluOut"),
+	}
+	if stride != 1 || in != out {
+		b.convSC = nn.NewConv2d(name+".shortcut.conv", rng, in, out, 1, stride, 0, 1)
+		b.bnSC = nn.NewBatchNorm2d(name+".shortcut.bn", out)
+	}
+	return b
+}
+
+// Name implements nn.Layer.
+func (b *ResNeXtBlock) Name() string { return b.name }
+
+// Params implements nn.Layer.
+func (b *ResNeXtBlock) Params() []*nn.Param { return nil }
+
+// Spec implements nn.Layer.
+func (b *ResNeXtBlock) Spec() nn.Spec { return nn.Spec{Kind: nn.KindComposite, LayerName: b.name} }
+
+// Children implements nn.Container.
+func (b *ResNeXtBlock) Children() []nn.Layer {
+	ch := []nn.Layer{b.conv1, b.bn1, b.relu1, b.conv2, b.bn2, b.relu2, b.conv3, b.bn3, b.reluOut}
+	if b.convSC != nil {
+		ch = append(ch, b.convSC, b.bnSC)
+	}
+	return ch
+}
+
+// Forward implements nn.Layer.
+func (b *ResNeXtBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b.input = x
+	h := b.relu1.Forward(b.bn1.Forward(b.conv1.Forward(x, train), train), train)
+	h = b.relu2.Forward(b.bn2.Forward(b.conv2.Forward(h, train), train), train)
+	h = b.bn3.Forward(b.conv3.Forward(h, train), train)
+	if b.convSC != nil {
+		h.Add(b.bnSC.Forward(b.convSC.Forward(x, train), train))
+	} else {
+		h.Add(x)
+	}
+	return b.reluOut.Forward(h, train)
+}
+
+// Backward implements nn.Layer.
+func (b *ResNeXtBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dsum := b.reluOut.Backward(grad)
+	dx := b.conv1.Backward(b.bn1.Backward(b.relu1.Backward(
+		b.conv2.Backward(b.bn2.Backward(b.relu2.Backward(
+			b.conv3.Backward(b.bn3.Backward(dsum))))))))
+	if b.convSC != nil {
+		dx.Add(b.convSC.Backward(b.bnSC.Backward(dsum)))
+	} else {
+		dx.Add(dsum)
+	}
+	return dx
+}
+
+// InvertedResidual is MobileNetV2's block: optional 1×1 expansion
+// (bn+relu6), 3×3 depthwise convolution (bn+relu6), and a linear 1×1
+// projection (bn), with a residual connection when the shape is preserved.
+type InvertedResidual struct {
+	name     string
+	expand   *nn.Conv2d // nil when expansion factor is 1
+	bnE      *nn.BatchNorm2d
+	reluE    *nn.ReLU
+	dw       *nn.Conv2d
+	bnD      *nn.BatchNorm2d
+	reluD    *nn.ReLU
+	project  *nn.Conv2d
+	bnP      *nn.BatchNorm2d
+	residual bool
+}
+
+// NewInvertedResidual constructs a block in→out with the given stride and
+// expansion factor t.
+func NewInvertedResidual(name string, rng *rand.Rand, in, out, stride, t int) *InvertedResidual {
+	hidden := in * t
+	b := &InvertedResidual{
+		name:     name,
+		dw:       nn.NewConv2d(name+".dw", rng, hidden, hidden, 3, stride, 1, hidden),
+		bnD:      nn.NewBatchNorm2d(name+".bnD", hidden),
+		reluD:    nn.NewReLU6(name + ".reluD"),
+		project:  nn.NewConv2d(name+".project", rng, hidden, out, 1, 1, 0, 1),
+		bnP:      nn.NewBatchNorm2d(name+".bnP", out),
+		residual: stride == 1 && in == out,
+	}
+	if t != 1 {
+		b.expand = nn.NewConv2d(name+".expand", rng, in, hidden, 1, 1, 0, 1)
+		b.bnE = nn.NewBatchNorm2d(name+".bnE", hidden)
+		b.reluE = nn.NewReLU6(name + ".reluE")
+	}
+	return b
+}
+
+// Name implements nn.Layer.
+func (b *InvertedResidual) Name() string { return b.name }
+
+// Params implements nn.Layer.
+func (b *InvertedResidual) Params() []*nn.Param { return nil }
+
+// Spec implements nn.Layer.
+func (b *InvertedResidual) Spec() nn.Spec {
+	return nn.Spec{Kind: nn.KindComposite, LayerName: b.name}
+}
+
+// Children implements nn.Container.
+func (b *InvertedResidual) Children() []nn.Layer {
+	var ch []nn.Layer
+	if b.expand != nil {
+		ch = append(ch, b.expand, b.bnE, b.reluE)
+	}
+	return append(ch, b.dw, b.bnD, b.reluD, b.project, b.bnP)
+}
+
+// Forward implements nn.Layer.
+func (b *InvertedResidual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	h := x
+	if b.expand != nil {
+		h = b.reluE.Forward(b.bnE.Forward(b.expand.Forward(h, train), train), train)
+	}
+	h = b.reluD.Forward(b.bnD.Forward(b.dw.Forward(h, train), train), train)
+	h = b.bnP.Forward(b.project.Forward(h, train), train)
+	if b.residual {
+		h.Add(x)
+	}
+	return h
+}
+
+// Backward implements nn.Layer.
+func (b *InvertedResidual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dh := b.dw.Backward(b.bnD.Backward(b.reluD.Backward(
+		b.project.Backward(b.bnP.Backward(grad)))))
+	if b.expand != nil {
+		dh = b.expand.Backward(b.bnE.Backward(b.reluE.Backward(dh)))
+	}
+	if b.residual {
+		dh.Add(grad)
+	}
+	return dh
+}

@@ -1,0 +1,258 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edgetta/internal/nn"
+	"edgetta/internal/tensor"
+)
+
+// Model wraps a network with the metadata the study harness needs.
+type Model struct {
+	Name    string // human-readable architecture name
+	Tag     string // the paper's short tag, e.g. "WRN-AM"
+	Net     nn.Layer
+	Classes int
+	InC     int // input channels
+	InHW    int // input spatial size
+}
+
+// Forward runs the network.
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return m.Net.Forward(x, train)
+}
+
+// Backward backpropagates the loss gradient.
+func (m *Model) Backward(grad *tensor.Tensor) *tensor.Tensor { return m.Net.Backward(grad) }
+
+// Params returns all learnable parameters.
+func (m *Model) Params() []*nn.Param { return nn.CollectParams(m.Net) }
+
+// BatchNorms returns every BatchNorm layer in forward order.
+func (m *Model) BatchNorms() []*nn.BatchNorm2d { return nn.BatchNorms(m.Net) }
+
+// Stats summarizes a model's size and compute cost.
+type Stats struct {
+	Params   int64 // total learnable parameters
+	BNParams int64 // batch-norm gamma+beta count (the adaptation target)
+	MACs     int64 // forward multiply-accumulates for a single image
+	Bytes    int64 // float32 parameter bytes
+}
+
+// Stats runs one dummy single-image forward to populate layer specs and
+// aggregates them.
+func (m *Model) Stats() Stats {
+	x := tensor.New(1, m.InC, m.InHW, m.InHW)
+	m.Forward(x, false)
+	var s Stats
+	nn.Walk(m.Net, func(l nn.Layer) {
+		sp := l.Spec()
+		if sp.Kind == nn.KindComposite {
+			return
+		}
+		s.Params += sp.ParamCount
+		s.BNParams += 2 * sp.BNChannels
+		s.MACs += sp.MACs
+	})
+	s.Bytes = 4 * s.Params
+	return s
+}
+
+// Scale selects between the paper-exact architecture and a reduced variant
+// that can be trained in-process.
+type Scale int
+
+// Scales.
+const (
+	// Full matches the paper's models parameter-for-parameter; used for
+	// cost modeling and architecture-fidelity tests.
+	Full Scale = iota
+	// ReproScale is a narrow/shallow variant of the same topology used for
+	// the in-process accuracy experiments.
+	ReproScale
+)
+
+// Builder constructs one of the study's models.
+type Builder func(rng *rand.Rand, scale Scale) *Model
+
+// PreActResNet18 builds the paper's "R18-AM-AT": a pre-activation
+// ResNet-18 for 32×32 inputs (11.17M params, 7808 BN params, 0.56 GMACs).
+func PreActResNet18(rng *rand.Rand, scale Scale) *Model {
+	width, blocks := 64, [4]int{2, 2, 2, 2}
+	if scale == ReproScale {
+		width, blocks = 8, [4]int{1, 1, 1, 1}
+	}
+	seq := nn.NewSequential("preactresnet18",
+		nn.NewConv2d("conv1", rng, 3, width, 3, 1, 1, 1))
+	in := width
+	for stage := 0; stage < 4; stage++ {
+		out := width << stage
+		stride := 1
+		if stage > 0 {
+			stride = 2
+		}
+		for blk := 0; blk < blocks[stage]; blk++ {
+			name := fmt.Sprintf("layer%d.%d", stage+1, blk)
+			s := 1
+			if blk == 0 {
+				s = stride
+			}
+			seq.Append(NewPreActBlock(name, rng, in, out, s))
+			in = out
+		}
+	}
+	seq.Append(
+		nn.NewBatchNorm2d("bnFinal", in),
+		nn.NewReLU("reluFinal"),
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewLinear("fc", rng, in, 10),
+	)
+	return &Model{Name: "PreActResNet-18", Tag: "R18-AM-AT", Net: seq, Classes: 10, InC: 3, InHW: 32}
+}
+
+// WideResNet402 builds the paper's "WRN-AM": WideResNet-40-2 (2.24M
+// params, 5408 BN params, 0.33 GMACs).
+func WideResNet402(rng *rand.Rand, scale Scale) *Model {
+	base, widen, n := 16, 2, 6 // depth 40 = 6n+4
+	if scale == ReproScale {
+		base, widen, n = 8, 1, 1
+	}
+	widths := [3]int{base * widen, 2 * base * widen, 4 * base * widen}
+	seq := nn.NewSequential("wideresnet402",
+		nn.NewConv2d("conv1", rng, 3, base, 3, 1, 1, 1))
+	in := base
+	for g := 0; g < 3; g++ {
+		stride := 1
+		if g > 0 {
+			stride = 2
+		}
+		for blk := 0; blk < n; blk++ {
+			name := fmt.Sprintf("group%d.%d", g+1, blk)
+			s := 1
+			if blk == 0 {
+				s = stride
+			}
+			seq.Append(NewPreActBlock(name, rng, in, widths[g], s))
+			in = widths[g]
+		}
+	}
+	seq.Append(
+		nn.NewBatchNorm2d("bnFinal", in),
+		nn.NewReLU("reluFinal"),
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewLinear("fc", rng, in, 10),
+	)
+	return &Model{Name: "WideResNet-40-2", Tag: "WRN-AM", Net: seq, Classes: 10, InC: 3, InHW: 32}
+}
+
+// ResNeXt29 builds the paper's "RXT-AM": ResNeXt-29 with cardinality 4 and
+// base width 32 (6.81M params, 25216 BN params; the bottleneck widths are
+// 128/256/512 with stage outputs 256/512/1024).
+func ResNeXt29(rng *rand.Rand, scale Scale) *Model {
+	card, baseWidth, blocksPerStage, stem := 4, 32, 3, 64
+	if scale == ReproScale {
+		card, baseWidth, blocksPerStage, stem = 2, 4, 1, 8
+	}
+	seq := nn.NewSequential("resnext29",
+		nn.NewConv2d("conv1", rng, 3, stem, 3, 1, 1, 1),
+		nn.NewBatchNorm2d("bn1", stem),
+		nn.NewReLU("relu1"),
+	)
+	in := stem
+	expansion := 2 // stage output = 2 × bottleneck width
+	for stage := 0; stage < 3; stage++ {
+		d := card * baseWidth << stage
+		out := expansion * d
+		stride := 1
+		if stage > 0 {
+			stride = 2
+		}
+		for blk := 0; blk < blocksPerStage; blk++ {
+			name := fmt.Sprintf("stage%d.%d", stage+1, blk)
+			s := 1
+			if blk == 0 {
+				s = stride
+			}
+			seq.Append(NewResNeXtBlock(name, rng, in, d, out, card, s))
+			in = out
+		}
+	}
+	seq.Append(nn.NewGlobalAvgPool("gap"), nn.NewLinear("fc", rng, in, 10))
+	return &Model{Name: "ResNeXt-29 (4x32d)", Tag: "RXT-AM", Net: seq, Classes: 10, InC: 3, InHW: 32}
+}
+
+// mbv2Cfg is one inverted-residual group: expansion t, output channels c,
+// repeats n, first-block stride s.
+type mbv2Cfg struct{ t, c, n, s int }
+
+// MobileNetV2 builds the paper's edge-optimized comparison model (Sec IV-F:
+// 2.25M params, 34112 BN params, 0.096 GMACs; CIFAR variant with stride-1
+// stem).
+func MobileNetV2(rng *rand.Rand, scale Scale) *Model {
+	cfgs := []mbv2Cfg{
+		{1, 16, 1, 1}, {6, 24, 2, 1}, {6, 32, 3, 2}, {6, 64, 4, 2},
+		{6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+	}
+	stem, head := 32, 1280
+	mult := 1.0
+	if scale == ReproScale {
+		mult = 0.25
+		cfgs = []mbv2Cfg{{1, 16, 1, 1}, {6, 24, 2, 1}, {6, 32, 2, 2}, {6, 64, 2, 2}, {6, 96, 1, 1}}
+		head = 160
+	}
+	ch := func(c int) int {
+		v := int(float64(c)*mult + 0.5)
+		if v < 4 {
+			v = 4
+		}
+		return v
+	}
+	seq := nn.NewSequential("mobilenetv2",
+		nn.NewConv2d("conv1", rng, 3, ch(stem), 3, 1, 1, 1),
+		nn.NewBatchNorm2d("bn1", ch(stem)),
+		nn.NewReLU6("relu1"),
+	)
+	in := ch(stem)
+	for gi, cfg := range cfgs {
+		out := ch(cfg.c)
+		for blk := 0; blk < cfg.n; blk++ {
+			name := fmt.Sprintf("block%d.%d", gi+1, blk)
+			s := 1
+			if blk == 0 {
+				s = cfg.s
+			}
+			seq.Append(NewInvertedResidual(name, rng, in, out, s, cfg.t))
+			in = out
+		}
+	}
+	seq.Append(
+		nn.NewConv2d("conv2", rng, in, head, 1, 1, 0, 1),
+		nn.NewBatchNorm2d("bn2", head),
+		nn.NewReLU6("relu2"),
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewLinear("fc", rng, head, 10),
+	)
+	return &Model{Name: "MobileNetV2", Tag: "MBV2", Net: seq, Classes: 10, InC: 3, InHW: 32}
+}
+
+// Registry lists the study's three robust models in the paper's order.
+// MobileNetV2 is kept separate, as in the paper (Sec IV-F).
+func Registry() []Builder {
+	return []Builder{ResNeXt29, WideResNet402, PreActResNet18}
+}
+
+// ByTag builds the model with the given paper tag at the given scale.
+func ByTag(tag string, rng *rand.Rand, scale Scale) (*Model, error) {
+	switch tag {
+	case "RXT-AM":
+		return ResNeXt29(rng, scale), nil
+	case "WRN-AM":
+		return WideResNet402(rng, scale), nil
+	case "R18-AM-AT":
+		return PreActResNet18(rng, scale), nil
+	case "MBV2":
+		return MobileNetV2(rng, scale), nil
+	}
+	return nil, fmt.Errorf("models: unknown tag %q", tag)
+}

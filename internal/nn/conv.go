@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"edgetta/internal/parallel"
+	"edgetta/internal/tensor"
+)
+
+// Conv2d is a 2-D convolution over NCHW tensors with square kernels,
+// symmetric padding, and optional grouping (grouped convolution is what
+// gives ResNeXt its cardinality and MobileNetV2 its depthwise stage).
+// Bias is omitted: every convolution in the paper's models feeds a
+// BatchNorm, which subsumes it.
+type Conv2d struct {
+	name           string
+	InC, OutC      int
+	K, Stride, Pad int
+	Groups         int
+	Weight         *Param // [OutC, InC/Groups * K * K] row-major
+
+	input                *tensor.Tensor
+	lastSpec             Spec
+	outH, outW, inH, inW int
+}
+
+// NewConv2d constructs a convolution layer with He-normal initialization.
+func NewConv2d(name string, rng *rand.Rand, inC, outC, k, stride, pad, groups int) *Conv2d {
+	if inC%groups != 0 || outC%groups != 0 {
+		panic(fmt.Sprintf("nn: %s: channels (%d→%d) not divisible by groups %d", name, inC, outC, groups))
+	}
+	c := &Conv2d{
+		name: name, InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad, Groups: groups,
+		Weight: newParam(name+".weight", outC*(inC/groups)*k*k),
+	}
+	kaimingConv(rng, c.Weight.Data, outC*k*k/groups)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2d) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2d) Params() []*Param { return []*Param{c.Weight} }
+
+// Spec implements Layer.
+func (c *Conv2d) Spec() Spec { return c.lastSpec }
+
+// Forward implements Layer. The batch dimension is processed in parallel;
+// each image is lowered with im2col and multiplied against the weight
+// matrix one group at a time.
+func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.NDim() != 4 || x.Dim(1) != c.InC {
+		panic(shapeErr(c.name, x.Shape()))
+	}
+	t0 := profStart()
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH := (h+2*c.Pad-c.K)/c.Stride + 1
+	outW := (w+2*c.Pad-c.K)/c.Stride + 1
+	c.input, c.inH, c.inW, c.outH, c.outW = x, h, w, outH, outW
+
+	inCg, outCg := c.InC/c.Groups, c.OutC/c.Groups
+	rows := inCg * c.K * c.K
+	cols := outH * outW
+	y := tensor.New(n, c.OutC, outH, outW)
+
+	parallel.ForChunked(n, func(lo, hi int) {
+		buf := make([]float32, rows*cols)
+		for img := lo; img < hi; img++ {
+			xImg := x.Data[img*c.InC*h*w : (img+1)*c.InC*h*w]
+			yImg := y.Data[img*c.OutC*cols : (img+1)*c.OutC*cols]
+			for g := 0; g < c.Groups; g++ {
+				tensor.Im2Col(buf, xImg[g*inCg*h*w:(g+1)*inCg*h*w], inCg, h, w, c.K, c.Stride, c.Pad)
+				wg := c.Weight.Data[g*outCg*rows : (g+1)*outCg*rows]
+				tensor.MatMulInto(yImg[g*outCg*cols:(g+1)*outCg*cols], wg, buf, outCg, rows, cols, false)
+			}
+		}
+	})
+
+	c.lastSpec = Spec{
+		Kind: KindConv, LayerName: c.name,
+		MACs:       int64(n) * int64(c.OutC) * int64(rows) * int64(cols),
+		ParamCount: int64(len(c.Weight.Data)),
+		OutElems:   int64(y.Numel()),
+		SavedElems: int64(x.Numel()),
+		Batch:      int64(n),
+	}
+	profEnd(KindConv, false, t0)
+	return y
+}
+
+// Backward implements Layer: accumulates dWeight and returns dInput.
+// The im2col lowering is recomputed rather than cached, trading FLOPs for
+// the memory the paper shows is the binding constraint on edge devices.
+func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.input
+	if x == nil {
+		panic("nn: " + c.name + ": Backward before Forward")
+	}
+	t0 := profStart()
+	n, h, w := x.Dim(0), c.inH, c.inW
+	inCg, outCg := c.InC/c.Groups, c.OutC/c.Groups
+	rows := inCg * c.K * c.K
+	cols := c.outH * c.outW
+	dx := tensor.New(x.Shape()...)
+
+	var mu sync.Mutex
+	parallel.ForChunked(n, func(lo, hi int) {
+		colBuf := make([]float32, rows*cols)
+		dcolBuf := make([]float32, rows*cols)
+		dw := make([]float32, len(c.Weight.Data))
+		for img := lo; img < hi; img++ {
+			xImg := x.Data[img*c.InC*h*w : (img+1)*c.InC*h*w]
+			gImg := grad.Data[img*c.OutC*cols : (img+1)*c.OutC*cols]
+			dxImg := dx.Data[img*c.InC*h*w : (img+1)*c.InC*h*w]
+			for g := 0; g < c.Groups; g++ {
+				tensor.Im2Col(colBuf, xImg[g*inCg*h*w:(g+1)*inCg*h*w], inCg, h, w, c.K, c.Stride, c.Pad)
+				gSlice := gImg[g*outCg*cols : (g+1)*outCg*cols]
+				// dW_g += dY_g · colsᵀ
+				tensor.MatMulTransBInto(dw[g*outCg*rows:(g+1)*outCg*rows], gSlice, colBuf, outCg, cols, rows, true)
+				// dCols = W_gᵀ · dY_g, scattered back with col2im.
+				wg := c.Weight.Data[g*outCg*rows : (g+1)*outCg*rows]
+				tensor.MatMulTransAInto(dcolBuf, wg, gSlice, outCg, rows, cols, false)
+				tensor.Col2Im(dxImg[g*inCg*h*w:(g+1)*inCg*h*w], dcolBuf, inCg, h, w, c.K, c.Stride, c.Pad)
+			}
+		}
+		mu.Lock()
+		for i, v := range dw {
+			c.Weight.Grad[i] += v
+		}
+		mu.Unlock()
+	})
+	profEnd(KindConv, true, t0)
+	return dx
+}

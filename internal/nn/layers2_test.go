@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgetta/internal/tensor"
+)
+
+func TestMaxPool2dForward(t *testing.T) {
+	x := tensor.FromSlice([]float32{
+		1, 2, 5, 4,
+		3, 0, 1, 1,
+		9, 1, 0, 0,
+		1, 1, 0, 7,
+	}, 1, 1, 4, 4)
+	p := NewMaxPool2d("mp", 2)
+	y := p.Forward(x, false)
+	want := []float32{3, 5, 9, 7}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("maxpool[%d] = %v, want %v", i, y.Data[i], want[i])
+		}
+	}
+}
+
+func TestMaxPool2dBackwardRoutesToArgmax(t *testing.T) {
+	x := tensor.FromSlice([]float32{
+		1, 2, 5, 4,
+		3, 0, 1, 1,
+		9, 1, 0, 0,
+		1, 1, 0, 7,
+	}, 1, 1, 4, 4)
+	p := NewMaxPool2d("mp", 2)
+	p.Forward(x, false)
+	dx := p.Backward(tensor.FromSlice([]float32{10, 20, 30, 40}, 1, 1, 2, 2))
+	// Gradient lands only on the max positions: (1,0)=3, (0,2)=5, (2,0)=9, (3,3)=7.
+	wantIdx := map[int]float32{4: 10, 2: 20, 8: 30, 15: 40}
+	for i, v := range dx.Data {
+		if want, ok := wantIdx[i]; ok {
+			if v != want {
+				t.Fatalf("dx[%d] = %v, want %v", i, v, want)
+			}
+		} else if v != 0 {
+			t.Fatalf("dx[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestMaxPool2dGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewMaxPool2d("mp", 2)
+	x := tensor.New(2, 3, 4, 4)
+	x.Randn(rng, 1)
+	y := p.Forward(x, false)
+	loss := newProjLoss(rng, y.Numel())
+	forward := func() float64 { return loss.value(p.Forward(x, false)) }
+	dx := p.Backward(loss.grad(y.Shape()))
+	checkGrad(t, "maxpool.input", forward, x.Data, dx.Data, 2e-2)
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDropout("do", 0.5, rng)
+	x := tensor.New(1, 4, 2, 2)
+	x.Randn(rng, 1)
+	y := d.Forward(x, false)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("eval-mode dropout must be identity")
+		}
+	}
+	g := d.Backward(x)
+	if &g.Data[0] != &x.Data[0] {
+		t.Fatal("pass-through backward should return the same tensor")
+	}
+}
+
+func TestDropoutTrainStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDropout("do", 0.3, rng)
+	x := tensor.New(1, 1, 100, 100)
+	x.Fill(1)
+	y := d.Forward(x, true)
+	zeros, sum := 0, 0.0
+	for _, v := range y.Data {
+		if v == 0 {
+			zeros++
+		}
+		sum += float64(v)
+	}
+	rate := float64(zeros) / float64(len(y.Data))
+	if math.Abs(rate-0.3) > 0.03 {
+		t.Fatalf("drop rate %.3f, want ~0.3", rate)
+	}
+	// Inverted dropout keeps the expectation: mean ≈ 1.
+	if mean := sum / float64(len(y.Data)); math.Abs(mean-1) > 0.05 {
+		t.Fatalf("post-dropout mean %.3f, want ~1", mean)
+	}
+}
+
+func TestDropoutBackwardMasksGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDropout("do", 0.5, rng)
+	x := tensor.New(1, 1, 8, 8)
+	x.Fill(1)
+	y := d.Forward(x, true)
+	g := tensor.New(1, 1, 8, 8)
+	g.Fill(1)
+	dx := d.Backward(g)
+	for i := range y.Data {
+		if (y.Data[i] == 0) != (dx.Data[i] == 0) {
+			t.Fatal("gradient mask must match forward mask")
+		}
+		if y.Data[i] != 0 && dx.Data[i] != 2 { // 1/(1-0.5)
+			t.Fatalf("surviving grad %v, want 2", dx.Data[i])
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"sync"
+	"time"
+)
+
+// This file implements the runtime profiler the study's methodology is
+// built on (the paper uses PyTorch's Autograd profiler the same way):
+// when enabled, every layer records the wall time of its Forward and
+// Backward calls, aggregated by layer kind. Disabled, the instrumentation
+// is a nil check per layer call.
+
+// PhaseTotals aggregates profiled wall time by layer kind and direction.
+type PhaseTotals struct {
+	FwSeconds map[Kind]float64
+	BwSeconds map[Kind]float64
+	FwCalls   map[Kind]int
+	BwCalls   map[Kind]int
+}
+
+// Total returns the summed forward+backward seconds.
+func (p PhaseTotals) Total() float64 {
+	t := 0.0
+	for _, v := range p.FwSeconds {
+		t += v
+	}
+	for _, v := range p.BwSeconds {
+		t += v
+	}
+	return t
+}
+
+type phaseCollector struct {
+	mu     sync.Mutex
+	totals PhaseTotals
+}
+
+var (
+	profMu  sync.Mutex
+	profCur *phaseCollector
+)
+
+// StartProfiling begins collecting per-layer timings process-wide. It
+// returns false if a collection is already active.
+func StartProfiling() bool {
+	profMu.Lock()
+	defer profMu.Unlock()
+	if profCur != nil {
+		return false
+	}
+	profCur = &phaseCollector{totals: PhaseTotals{
+		FwSeconds: map[Kind]float64{}, BwSeconds: map[Kind]float64{},
+		FwCalls: map[Kind]int{}, BwCalls: map[Kind]int{},
+	}}
+	return true
+}
+
+// StopProfiling ends collection and returns the totals. Calling it with no
+// active collection returns empty totals.
+func StopProfiling() PhaseTotals {
+	profMu.Lock()
+	defer profMu.Unlock()
+	if profCur == nil {
+		return PhaseTotals{}
+	}
+	t := profCur.totals
+	profCur = nil
+	return t
+}
+
+// profStart returns the start time when profiling is active, else the zero
+// time. Layers call it at the top of Forward/Backward.
+func profStart() time.Time {
+	profMu.Lock()
+	active := profCur != nil
+	profMu.Unlock()
+	if !active {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// profEnd records a completed phase.
+func profEnd(kind Kind, backward bool, t0 time.Time) {
+	if t0.IsZero() {
+		return
+	}
+	dt := time.Since(t0).Seconds()
+	profMu.Lock()
+	c := profCur
+	profMu.Unlock()
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if backward {
+		c.totals.BwSeconds[kind] += dt
+		c.totals.BwCalls[kind]++
+	} else {
+		c.totals.FwSeconds[kind] += dt
+		c.totals.FwCalls[kind]++
+	}
+}

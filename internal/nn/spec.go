@@ -1,0 +1,52 @@
+package nn
+
+// Kind classifies layers for the profiler and the device cost model, which
+// charge convolution, batch-norm, and everything else at different rates
+// (the paper's Figs. 4, 7, 10 break time down along exactly these lines).
+type Kind int
+
+// Layer kinds.
+const (
+	KindOther Kind = iota
+	KindConv
+	KindBN
+	KindLinear
+	KindAct
+	KindPool
+	KindComposite
+)
+
+// String returns a short human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindConv:
+		return "conv"
+	case KindBN:
+		return "bn"
+	case KindLinear:
+		return "linear"
+	case KindAct:
+		return "act"
+	case KindPool:
+		return "pool"
+	case KindComposite:
+		return "composite"
+	default:
+		return "other"
+	}
+}
+
+// Spec describes one layer's most recent forward pass: the operation counts
+// and memory footprint the device simulator needs. Counts are for the whole
+// batch that was run.
+type Spec struct {
+	Kind      Kind
+	LayerName string
+
+	MACs       int64 // forward multiply-accumulate count
+	ParamCount int64 // learnable parameters
+	BNChannels int64 // channels, for KindBN only
+	OutElems   int64 // output tensor elements
+	SavedElems int64 // elements cached for backward ("dynamic graph" memory)
+	Batch      int64 // batch size of the recorded forward
+}

@@ -1,0 +1,114 @@
+// Package opt implements the optimizers the study needs: Adam (used by
+// BN-Opt's single adaptation step, following the paper and TENT) and
+// SGD with momentum (used for offline robust training of the repro-scale
+// models).
+package opt
+
+import (
+	"math"
+
+	"edgetta/internal/nn"
+)
+
+// Optimizer updates a fixed set of parameters from their accumulated
+// gradients.
+type Optimizer interface {
+	Step()
+	ZeroGrad()
+	Params() []*nn.Param
+}
+
+// Adam implements Kingma & Ba's Adam with PyTorch-default hyperparameters.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+
+	params []*nn.Param
+	m, v   [][]float32
+	t      int
+}
+
+// NewAdam constructs Adam over params with the given learning rate and
+// defaults beta1=0.9, beta2=0.999, eps=1e-8.
+func NewAdam(params []*nn.Param, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	a.m = make([][]float32, len(params))
+	a.v = make([][]float32, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float32, len(p.Data))
+		a.v[i] = make([]float32, len(p.Data))
+	}
+	return a
+}
+
+// Params returns the parameter set.
+func (a *Adam) Params() []*nn.Param { return a.params }
+
+// ZeroGrad clears all gradients.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.params {
+		p.ZeroGrad()
+	}
+}
+
+// Step applies one Adam update.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			g := float64(p.Grad[j])
+			if a.WeightDecay != 0 {
+				g += a.WeightDecay * float64(p.Data[j])
+			}
+			mj := a.Beta1*float64(m[j]) + (1-a.Beta1)*g
+			vj := a.Beta2*float64(v[j]) + (1-a.Beta2)*g*g
+			m[j], v[j] = float32(mj), float32(vj)
+			p.Data[j] -= float32(a.LR * (mj / bc1) / (math.Sqrt(vj/bc2) + a.Eps))
+		}
+	}
+}
+
+// SGD implements stochastic gradient descent with classical momentum and
+// optional L2 weight decay.
+type SGD struct {
+	LR, Momentum, WeightDecay float64
+
+	params []*nn.Param
+	vel    [][]float32
+}
+
+// NewSGD constructs SGD over params.
+func NewSGD(params []*nn.Param, lr, momentum, weightDecay float64) *SGD {
+	s := &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, params: params}
+	s.vel = make([][]float32, len(params))
+	for i, p := range params {
+		s.vel[i] = make([]float32, len(p.Data))
+	}
+	return s
+}
+
+// Params returns the parameter set.
+func (s *SGD) Params() []*nn.Param { return s.params }
+
+// ZeroGrad clears all gradients.
+func (s *SGD) ZeroGrad() {
+	for _, p := range s.params {
+		p.ZeroGrad()
+	}
+}
+
+// Step applies one SGD-with-momentum update.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		vel := s.vel[i]
+		for j := range p.Data {
+			g := float64(p.Grad[j]) + s.WeightDecay*float64(p.Data[j])
+			vj := s.Momentum*float64(vel[j]) + g
+			vel[j] = float32(vj)
+			p.Data[j] -= float32(s.LR * vj)
+		}
+	}
+}

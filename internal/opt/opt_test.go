@@ -1,0 +1,108 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"edgetta/internal/nn"
+)
+
+// quadratic builds a parameter whose loss is 0.5*(x-target)² so gradient
+// descent has a known fixed point.
+func quadParam(n int, init float32) *nn.Param {
+	p := &nn.Param{Name: "p", Data: make([]float32, n), Grad: make([]float32, n)}
+	for i := range p.Data {
+		p.Data[i] = init
+	}
+	return p
+}
+
+func fillQuadGrad(p *nn.Param, target float32) {
+	for i := range p.Data {
+		p.Grad[i] = p.Data[i] - target
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	p := quadParam(4, 5)
+	a := NewAdam([]*nn.Param{p}, 0.1)
+	for i := 0; i < 500; i++ {
+		a.ZeroGrad()
+		fillQuadGrad(p, 2)
+		a.Step()
+	}
+	for i, v := range p.Data {
+		if math.Abs(float64(v)-2) > 1e-2 {
+			t.Fatalf("adam did not converge: p[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestAdamFirstStepMagnitude(t *testing.T) {
+	// With bias correction the very first Adam step is ~lr in magnitude
+	// regardless of gradient scale.
+	for _, g := range []float32{0.001, 1, 1000} {
+		p := quadParam(1, 0)
+		a := NewAdam([]*nn.Param{p}, 0.05)
+		p.Grad[0] = g
+		a.Step()
+		if math.Abs(math.Abs(float64(p.Data[0]))-0.05) > 5e-3 {
+			t.Fatalf("grad %v: first step %v, want ~0.05", g, p.Data[0])
+		}
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	p := quadParam(4, -3)
+	s := NewSGD([]*nn.Param{p}, 0.1, 0.9, 0)
+	for i := 0; i < 300; i++ {
+		s.ZeroGrad()
+		fillQuadGrad(p, 1)
+		s.Step()
+	}
+	for i, v := range p.Data {
+		if math.Abs(float64(v)-1) > 1e-3 {
+			t.Fatalf("sgd did not converge: p[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	p := quadParam(1, 10)
+	s := NewSGD([]*nn.Param{p}, 0.1, 0, 0.5)
+	for i := 0; i < 100; i++ {
+		s.ZeroGrad() // zero task gradient: only decay acts
+		s.Step()
+	}
+	if math.Abs(float64(p.Data[0])) > 0.1 {
+		t.Fatalf("weight decay did not shrink param: %v", p.Data[0])
+	}
+}
+
+func TestZeroGradClears(t *testing.T) {
+	p := quadParam(3, 1)
+	p.Grad[0], p.Grad[1], p.Grad[2] = 1, 2, 3
+	a := NewAdam([]*nn.Param{p}, 0.1)
+	a.ZeroGrad()
+	for i, g := range p.Grad {
+		if g != 0 {
+			t.Fatalf("grad[%d] = %v after ZeroGrad", i, g)
+		}
+	}
+}
+
+func TestAdamStateIsPerParameter(t *testing.T) {
+	// Two parameters with very different gradient scales must still each
+	// converge — the second moment is tracked per element.
+	p := quadParam(2, 0)
+	a := NewAdam([]*nn.Param{p}, 0.05)
+	for i := 0; i < 800; i++ {
+		a.ZeroGrad()
+		p.Grad[0] = 100 * (p.Data[0] - 1)
+		p.Grad[1] = 0.01 * (p.Data[1] + 1)
+		a.Step()
+	}
+	if math.Abs(float64(p.Data[0])-1) > 5e-2 || math.Abs(float64(p.Data[1])+1) > 5e-2 {
+		t.Fatalf("per-param adaptation failed: %v", p.Data)
+	}
+}

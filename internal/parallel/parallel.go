@@ -1,0 +1,54 @@
+// Package parallel provides a small deterministic fork-join helper used by
+// the compute kernels in this repository. Work is split into contiguous
+// chunks so that results are bit-identical regardless of GOMAXPROCS.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minChunk is the smallest amount of work items worth spawning a goroutine
+// for. Tiny loops run inline to avoid scheduling overhead dominating.
+const minChunk = 64
+
+// For runs fn(i) for every i in [0, n) using up to GOMAXPROCS workers.
+// fn must be safe to call concurrently for distinct i.
+func For(n int, fn func(i int)) {
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForChunked splits [0, n) into contiguous ranges and runs fn(lo, hi) for
+// each range concurrently. fn must be safe to call concurrently for
+// non-overlapping ranges.
+func ForChunked(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n/minChunk {
+		workers = n / minChunk
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

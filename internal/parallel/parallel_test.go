@@ -1,0 +1,59 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 4096} {
+		seen := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForChunkedCoversRangeExactly(t *testing.T) {
+	f := func(n uint16) bool {
+		total := int64(0)
+		ForChunked(int(n), func(lo, hi int) {
+			if lo < 0 || hi > int(n) || lo > hi {
+				t.Fatalf("bad chunk [%d, %d) for n=%d", lo, hi, n)
+			}
+			atomic.AddInt64(&total, int64(hi-lo))
+		})
+		return total == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForChunkedNonOverlapping(t *testing.T) {
+	n := 10000
+	seen := make([]int32, n)
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestNegativeAndZeroAreNoOps(t *testing.T) {
+	called := false
+	ForChunked(0, func(lo, hi int) { called = true })
+	ForChunked(-5, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("callback invoked for empty range")
+	}
+}

@@ -1,0 +1,8 @@
+package profile
+
+import "math/rand"
+
+// newDeterministicRand returns the fixed-seed source used for cached
+// full-scale model construction; weights affect none of the profiled
+// quantities, so any seed gives identical traces.
+func newDeterministicRand() *rand.Rand { return rand.New(rand.NewSource(1)) }

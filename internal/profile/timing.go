@@ -1,0 +1,69 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+
+	"edgetta/internal/core"
+	"edgetta/internal/models"
+	"edgetta/internal/nn"
+	"edgetta/internal/tensor"
+)
+
+// RealBreakdown is a measured (Go-runtime) counterpart of the simulator's
+// per-kind phase breakdown: the same methodology as the paper's PyTorch
+// Autograd profiler, applied to this repository's own kernels.
+type RealBreakdown struct {
+	ModelTag string
+	Algo     core.Algorithm
+	Batch    int
+	Repeats  int
+	Totals   nn.PhaseTotals
+}
+
+// ConvBwOverFw returns the convolution backward/forward wall-time ratio
+// (the paper measures ≈2.2–2.5× on its devices).
+func (r RealBreakdown) ConvBwOverFw() float64 {
+	fw := r.Totals.FwSeconds[nn.KindConv]
+	if fw == 0 {
+		return 0
+	}
+	return r.Totals.BwSeconds[nn.KindConv] / fw
+}
+
+// String renders the breakdown in the layout of Figs. 4/7/10.
+func (r RealBreakdown) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s b%d (measured on this host, %d repeats):\n", r.ModelTag, r.Algo, r.Batch, r.Repeats)
+	for _, kind := range []nn.Kind{nn.KindConv, nn.KindBN, nn.KindAct, nn.KindPool, nn.KindLinear} {
+		fmt.Fprintf(&b, "  %-7s fw %8.4fs (%4d calls)   bw %8.4fs (%4d calls)\n",
+			kind, r.Totals.FwSeconds[kind], r.Totals.FwCalls[kind],
+			r.Totals.BwSeconds[kind], r.Totals.BwCalls[kind])
+	}
+	return b.String()
+}
+
+// MeasureBreakdown runs the adaptation algorithm for real on the model
+// (repeats batches of uniform noise — timing does not depend on image
+// content) with the layer profiler enabled, and returns wall time by
+// layer kind and direction.
+func MeasureBreakdown(m *models.Model, algo core.Algorithm, batch, repeats int) (RealBreakdown, error) {
+	adapter, err := core.New(algo, m, core.Config{})
+	if err != nil {
+		return RealBreakdown{}, err
+	}
+	x := tensor.New(batch, m.InC, m.InHW, m.InHW)
+	for i := range x.Data {
+		x.Data[i] = float32(i%97) / 97
+	}
+	adapter.Process(x) // warm caches outside the measurement
+	if !nn.StartProfiling() {
+		return RealBreakdown{}, fmt.Errorf("profile: another collection is active")
+	}
+	for i := 0; i < repeats; i++ {
+		adapter.Process(x)
+	}
+	totals := nn.StopProfiling()
+	return RealBreakdown{ModelTag: m.Tag, Algo: algo, Batch: batch,
+		Repeats: repeats, Totals: totals}, nil
+}

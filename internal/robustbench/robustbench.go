@@ -1,0 +1,146 @@
+// Package robustbench implements a miniature RobustBench-style harness
+// (the leaderboard the paper's footnote 1 cites): it scores models —
+// optionally with a test-time adaptation algorithm attached, which
+// RobustBench itself does not track — on clean data and on every
+// corruption family, and renders a leaderboard with mean and relative
+// corruption errors.
+package robustbench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"edgetta/internal/core"
+	"edgetta/internal/data"
+)
+
+// Config sizes an evaluation.
+type Config struct {
+	Gen         *data.Generator
+	Seed        int64
+	Samples     int // per corruption stream (and for the clean pass)
+	Batch       int
+	Severity    int
+	Corruptions []data.Corruption // default: all 15
+}
+
+func (c Config) withDefaults() Config {
+	if c.Samples == 0 {
+		c.Samples = 400
+	}
+	if c.Batch == 0 {
+		c.Batch = 50
+	}
+	if c.Severity == 0 {
+		c.Severity = data.MaxSeverity
+	}
+	if len(c.Corruptions) == 0 {
+		c.Corruptions = data.AllCorruptions
+	}
+	return c
+}
+
+// Score is one leaderboard row.
+type Score struct {
+	Name     string
+	CleanErr float64
+	// CorrErr maps corruption name to error rate in [0, 1].
+	CorrErr map[string]float64
+	// MeanErr is the average over the evaluated corruption families.
+	MeanErr float64
+}
+
+// Evaluate scores an adapter (a model plus its adaptation strategy) under
+// the config. The adapter is Reset before the clean pass and before each
+// corruption stream, matching the paper's episodic protocol.
+func Evaluate(name string, a core.Adapter, cfg Config) (Score, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Gen == nil {
+		return Score{}, fmt.Errorf("robustbench: nil generator")
+	}
+	s := Score{Name: name, CorrErr: map[string]float64{}}
+	clean := cfg.Gen.NewCleanStream(cfg.Seed, cfg.Samples)
+	s.CleanErr = core.RunStream(a, clean, cfg.Batch).ErrorRate
+	total := 0.0
+	for i, c := range cfg.Corruptions {
+		st := cfg.Gen.NewStream(cfg.Seed+int64(i+1), cfg.Samples, c, cfg.Severity)
+		e := core.RunStream(a, st, cfg.Batch).ErrorRate
+		s.CorrErr[c.String()] = e
+		total += e
+	}
+	s.MeanErr = total / float64(len(cfg.Corruptions))
+	return s, nil
+}
+
+// RelativeMCE is RobustBench/Hendrycks' relative mean corruption error:
+// the average over corruption families of this score's error divided by
+// the baseline's. 1.0 means "as robust as the baseline"; lower is better.
+func RelativeMCE(s, baseline Score) (float64, error) {
+	total, n := 0.0, 0
+	for name, e := range s.CorrErr {
+		be, ok := baseline.CorrErr[name]
+		if !ok {
+			return 0, fmt.Errorf("robustbench: baseline lacks corruption %q", name)
+		}
+		if be <= 0 {
+			continue // a perfect baseline cell carries no signal
+		}
+		total += e / be
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("robustbench: no comparable corruption cells")
+	}
+	return total / float64(n), nil
+}
+
+// Leaderboard renders scores sorted by ascending mean corruption error,
+// with the first provided score as the mCE baseline.
+func Leaderboard(scores []Score) (string, error) {
+	if len(scores) == 0 {
+		return "", fmt.Errorf("robustbench: empty leaderboard")
+	}
+	baseline := scores[0]
+	sorted := append([]Score(nil), scores...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].MeanErr < sorted[j].MeanErr })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-32s %10s %10s %8s\n", "rank", "entry", "clean err", "corr err", "rel mCE")
+	for i, s := range sorted {
+		mce, err := RelativeMCE(s, baseline)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-4d %-32s %9.1f%% %9.1f%% %8.2f\n",
+			i+1, s.Name, 100*s.CleanErr, 100*s.MeanErr, mce)
+	}
+	fmt.Fprintf(&b, "(rel mCE baseline: %s)\n", baseline.Name)
+	return b.String(), nil
+}
+
+// WorstCorruptions returns the k corruption families with the highest
+// error for the score, most damaging first.
+func WorstCorruptions(s Score, k int) []string {
+	type kv struct {
+		name string
+		err  float64
+	}
+	var all []kv
+	for name, e := range s.CorrErr {
+		all = append(all, kv{name, e})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].err != all[j].err {
+			return all[i].err > all[j].err
+		}
+		return all[i].name < all[j].name
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].name
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package robustbench
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"edgetta/internal/core"
+	"edgetta/internal/data"
+	"edgetta/internal/models"
+	"edgetta/internal/nn"
+)
+
+// microModel keeps evaluation fast.
+func microModel(seed int64) *models.Model {
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewSequential("micro",
+		nn.NewConv2d("c1", rng, 3, 8, 3, 2, 1, 1),
+		nn.NewBatchNorm2d("bn1", 8),
+		nn.NewReLU("r1"),
+		nn.NewConv2d("c2", rng, 8, 16, 3, 2, 1, 1),
+		nn.NewBatchNorm2d("bn2", 16),
+		nn.NewReLU("r2"),
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewLinear("fc", rng, 16, 10),
+	)
+	return &models.Model{Name: "micro", Tag: "MICRO", Net: net, Classes: 10, InC: 3, InHW: 32}
+}
+
+func quickCfg(gen *data.Generator) Config {
+	return Config{Gen: gen, Seed: 1, Samples: 60, Batch: 20,
+		Corruptions: []data.Corruption{data.GaussianNoise, data.Fog, data.Contrast}}
+}
+
+func TestEvaluateStructure(t *testing.T) {
+	gen := data.NewGenerator(9)
+	a, _ := core.New(core.NoAdapt, microModel(1), core.Config{})
+	s, err := Evaluate("micro/no-adapt", a, quickCfg(gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.CorrErr) != 3 {
+		t.Fatalf("expected 3 corruption cells, got %d", len(s.CorrErr))
+	}
+	for name, e := range s.CorrErr {
+		if e < 0 || e > 1 {
+			t.Fatalf("%s error %v out of range", name, e)
+		}
+	}
+	if s.MeanErr < 0 || s.MeanErr > 1 || s.CleanErr < 0 || s.CleanErr > 1 {
+		t.Fatalf("bad aggregate errors: %+v", s)
+	}
+}
+
+func TestEvaluateNilGenerator(t *testing.T) {
+	a, _ := core.New(core.NoAdapt, microModel(1), core.Config{})
+	if _, err := Evaluate("x", a, Config{}); err == nil {
+		t.Fatal("nil generator must error")
+	}
+}
+
+func TestRelativeMCESelfIsOne(t *testing.T) {
+	s := Score{Name: "a", CorrErr: map[string]float64{"fog": 0.2, "snow": 0.4}}
+	mce, err := RelativeMCE(s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mce != 1 {
+		t.Fatalf("self mCE = %v, want 1", mce)
+	}
+	better := Score{Name: "b", CorrErr: map[string]float64{"fog": 0.1, "snow": 0.2}}
+	mce, err = RelativeMCE(better, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mce != 0.5 {
+		t.Fatalf("halved errors should give mCE 0.5, got %v", mce)
+	}
+}
+
+func TestRelativeMCEMismatchedCells(t *testing.T) {
+	a := Score{CorrErr: map[string]float64{"fog": 0.2}}
+	b := Score{CorrErr: map[string]float64{"snow": 0.2}}
+	if _, err := RelativeMCE(a, b); err == nil {
+		t.Fatal("mismatched corruption sets must error")
+	}
+}
+
+func TestLeaderboardSortsAndRenders(t *testing.T) {
+	scores := []Score{
+		{Name: "baseline", MeanErr: 0.5, CleanErr: 0.1, CorrErr: map[string]float64{"fog": 0.5}},
+		{Name: "adapted", MeanErr: 0.2, CleanErr: 0.1, CorrErr: map[string]float64{"fog": 0.2}},
+	}
+	out, err := Leaderboard(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Index(out, "adapted") > strings.Index(out, "baseline") {
+		t.Fatal("leaderboard should rank the adapted entry first")
+	}
+	if !strings.Contains(out, "rel mCE baseline: baseline") {
+		t.Fatal("baseline annotation missing")
+	}
+	if _, err := Leaderboard(nil); err == nil {
+		t.Fatal("empty leaderboard must error")
+	}
+}
+
+func TestWorstCorruptions(t *testing.T) {
+	s := Score{CorrErr: map[string]float64{"fog": 0.9, "snow": 0.1, "jpeg": 0.5}}
+	got := WorstCorruptions(s, 2)
+	if len(got) != 2 || got[0] != "fog" || got[1] != "jpeg" {
+		t.Fatalf("worst = %v", got)
+	}
+	if len(WorstCorruptions(s, 10)) != 3 {
+		t.Fatal("k beyond size should clamp")
+	}
+}
+
+// TestAdaptationClimbsLeaderboard is the end-to-end property the paper's
+// study adds on top of RobustBench: the same model with BN adaptation
+// should rank above itself without adaptation on corrupted data.
+func TestAdaptationClimbsLeaderboard(t *testing.T) {
+	gen := data.NewGenerator(10)
+	m := microModel(3)
+	cfg := quickCfg(gen)
+	noAdapt, _ := core.New(core.NoAdapt, m, core.Config{})
+	sNo, err := Evaluate("micro", noAdapt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bnNorm, _ := core.New(core.BNNorm, m, core.Config{})
+	sBN, err := Evaluate("micro+BN-Norm", bnNorm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The untrained model is near chance either way, so only require the
+	// harness to produce comparable, well-formed rows.
+	if _, err := Leaderboard([]Score{sNo, sBN}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RelativeMCE(sBN, sNo); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package stream implements a deterministic discrete-event simulator for
+// the paper's deployment setting: a device ingests a fixed-rate frame
+// stream, accumulates adaptation batches, and must finish processing each
+// batch (inference + adaptation, as priced by internal/device) under a
+// deadline. It reports deadline misses, queueing, utilization and
+// duty-cycled energy — the quantities behind the paper's warning that even
+// the best configuration's 213 ms adaptation overhead "can be a bottleneck
+// for tight deadlines" (Sec. IV-E).
+package stream
+
+import "fmt"
+
+// Config describes one streaming deployment.
+type Config struct {
+	// FPS is the input frame rate.
+	FPS float64
+	// BatchSize is the number of frames per adaptation batch (the paper's
+	// 50/100/200).
+	BatchSize int
+	// ServiceSeconds is the per-batch processing time (take it from
+	// device.Estimate: inference plus any adaptation).
+	ServiceSeconds float64
+	// DeadlineSeconds is the maximum tolerated latency from the moment a
+	// batch is complete to the moment its results are ready.
+	DeadlineSeconds float64
+	// TotalFrames bounds the simulation.
+	TotalFrames int
+	// QueueCap bounds the number of complete batches waiting for the
+	// processor; further batches are dropped. 0 means unbounded.
+	QueueCap int
+	// PowerBusyW / PowerIdleW integrate the energy over the run.
+	PowerBusyW, PowerIdleW float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.FPS <= 0 {
+		return fmt.Errorf("stream: FPS must be positive, got %v", c.FPS)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("stream: batch size must be positive, got %d", c.BatchSize)
+	}
+	if c.ServiceSeconds < 0 || c.DeadlineSeconds <= 0 {
+		return fmt.Errorf("stream: invalid service/deadline (%v, %v)", c.ServiceSeconds, c.DeadlineSeconds)
+	}
+	if c.TotalFrames < c.BatchSize {
+		return fmt.Errorf("stream: need at least one batch of frames (%d < %d)", c.TotalFrames, c.BatchSize)
+	}
+	return nil
+}
+
+// Result summarizes a simulated run.
+type Result struct {
+	Batches        int     // batches processed
+	Dropped        int     // batches dropped at a full queue
+	DeadlineMisses int     // processed batches exceeding the deadline
+	MissRate       float64 // misses / processed
+	MaxQueueDepth  int     // peak complete-but-unprocessed batches
+	MeanLatency    float64 // seconds from batch-complete to done
+	WorstLatency   float64
+	Utilization    float64 // busy fraction of the simulated wall clock
+	SimSeconds     float64
+	EnergyJ        float64 // duty-cycled: busy power while serving, idle otherwise
+	Stable         bool    // service rate keeps up with arrival rate
+}
+
+// Simulate runs the event loop. Batches become ready every
+// BatchSize/FPS seconds; a single processor serves them FIFO in
+// ServiceSeconds each.
+func Simulate(c Config) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	batchPeriod := float64(c.BatchSize) / c.FPS
+	nBatches := c.TotalFrames / c.BatchSize
+
+	var res Result
+	res.Stable = c.ServiceSeconds <= batchPeriod
+
+	procFree := 0.0 // time the processor becomes free
+	busy := 0.0
+	queueDepth := 0
+	type pending struct{ ready float64 }
+	var queue []pending
+
+	totalLatency := 0.0
+	for i := 0; i < nBatches; i++ {
+		ready := float64(i+1) * batchPeriod
+		// Drain any queued batches that start before this one is ready.
+		for len(queue) > 0 && procFree <= ready {
+			b := queue[0]
+			queue = queue[1:]
+			queueDepth--
+			start := procFree
+			if start < b.ready {
+				start = b.ready
+			}
+			done := start + c.ServiceSeconds
+			procFree = done
+			busy += c.ServiceSeconds
+			lat := done - b.ready
+			totalLatency += lat
+			res.Batches++
+			if lat > res.WorstLatency {
+				res.WorstLatency = lat
+			}
+			if lat > c.DeadlineSeconds {
+				res.DeadlineMisses++
+			}
+		}
+		if procFree <= ready {
+			// Processor idle when the batch arrives: serve immediately.
+			done := ready + c.ServiceSeconds
+			procFree = done
+			busy += c.ServiceSeconds
+			lat := c.ServiceSeconds
+			totalLatency += lat
+			res.Batches++
+			if lat > res.WorstLatency {
+				res.WorstLatency = lat
+			}
+			if lat > c.DeadlineSeconds {
+				res.DeadlineMisses++
+			}
+			continue
+		}
+		// Processor busy: enqueue or drop.
+		if c.QueueCap > 0 && queueDepth >= c.QueueCap {
+			res.Dropped++
+			continue
+		}
+		queue = append(queue, pending{ready: ready})
+		queueDepth++
+		if queueDepth > res.MaxQueueDepth {
+			res.MaxQueueDepth = queueDepth
+		}
+	}
+	// Drain the tail of the queue.
+	for _, b := range queue {
+		start := procFree
+		if start < b.ready {
+			start = b.ready
+		}
+		done := start + c.ServiceSeconds
+		procFree = done
+		busy += c.ServiceSeconds
+		lat := done - b.ready
+		totalLatency += lat
+		res.Batches++
+		if lat > res.WorstLatency {
+			res.WorstLatency = lat
+		}
+		if lat > c.DeadlineSeconds {
+			res.DeadlineMisses++
+		}
+	}
+
+	res.SimSeconds = float64(nBatches) * batchPeriod
+	if procFree > res.SimSeconds {
+		res.SimSeconds = procFree
+	}
+	if res.Batches > 0 {
+		res.MeanLatency = totalLatency / float64(res.Batches)
+		res.MissRate = float64(res.DeadlineMisses) / float64(res.Batches)
+	}
+	if res.SimSeconds > 0 {
+		res.Utilization = busy / res.SimSeconds
+	}
+	res.EnergyJ = busy*c.PowerBusyW + (res.SimSeconds-busy)*c.PowerIdleW
+	return res, nil
+}

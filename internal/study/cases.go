@@ -1,0 +1,99 @@
+package study
+
+import (
+	"fmt"
+
+	"edgetta/internal/core"
+	"edgetta/internal/device"
+	"edgetta/internal/profile"
+)
+
+// Case identifies one configuration of the study's design space.
+type Case struct {
+	DeviceTag string
+	Kind      device.EngineKind
+	ModelTag  string
+	Algo      core.Algorithm
+	Batch     int
+}
+
+// Label renders the paper's naming, e.g. "WRN-AM-50 BN-Norm (xaviernx GPU)".
+func (c Case) Label() string {
+	return fmt.Sprintf("%s-%d %s (%s %s)", c.ModelTag, c.Batch, c.Algo, c.DeviceTag, c.Kind)
+}
+
+// Point is a fully evaluated case: simulated cost plus prediction error.
+type Point struct {
+	Case
+	Seconds float64
+	EnergyJ float64
+	ErrPct  float64
+	MemMB   float64
+	OOM     bool
+	Phases  device.Phases
+}
+
+// Evaluate prices a case with the device simulator and the error table.
+func Evaluate(c Case, errs *ErrorTable) (Point, error) {
+	d, ok := device.ByTag(c.DeviceTag)
+	if !ok {
+		return Point{}, fmt.Errorf("study: unknown device %q", c.DeviceTag)
+	}
+	p, err := profile.Get(c.ModelTag)
+	if err != nil {
+		return Point{}, err
+	}
+	r, err := device.Estimate(d, c.Kind, p, c.Algo, c.Batch)
+	if err != nil {
+		return Point{}, err
+	}
+	e, err := errs.Err(c.ModelTag, c.Algo.String(), c.Batch)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		Case: c, Seconds: r.Seconds, EnergyJ: r.EnergyJ, ErrPct: e,
+		MemMB: float64(r.PeakMemBytes) / (1 << 20), OOM: r.OOM, Phases: r.Phases,
+	}, nil
+}
+
+// EngineCases enumerates the paper's 27 cases (3 models × 3 algorithms ×
+// 3 batch sizes) for one device engine.
+func EngineCases(deviceTag string, kind device.EngineKind) []Case {
+	var out []Case
+	for _, model := range RobustModelTags {
+		for _, algo := range core.Algorithms {
+			for _, b := range Batches {
+				out = append(out, Case{DeviceTag: deviceTag, Kind: kind,
+					ModelTag: model, Algo: algo, Batch: b})
+			}
+		}
+	}
+	return out
+}
+
+// AllCases enumerates the full design space across the three devices
+// (CPU engines everywhere, plus the NX GPU), as in Fig. 12.
+func AllCases() []Case {
+	var out []Case
+	out = append(out, EngineCases("ultra96", device.CPU)...)
+	out = append(out, EngineCases("rpi4", device.CPU)...)
+	out = append(out, EngineCases("xaviernx", device.CPU)...)
+	out = append(out, EngineCases("xaviernx", device.GPU)...)
+	return out
+}
+
+// EvaluateAll prices a case list, dropping nothing: infeasible (OOM)
+// points are kept with OOM=true so figures can annotate them, but
+// selection ignores them.
+func EvaluateAll(cases []Case, errs *ErrorTable) ([]Point, error) {
+	pts := make([]Point, 0, len(cases))
+	for _, c := range cases {
+		p, err := Evaluate(c, errs)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}

@@ -1,0 +1,96 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"edgetta/internal/core"
+	"edgetta/internal/device"
+	"edgetta/internal/profile"
+)
+
+func TestInsightsRender(t *testing.T) {
+	out, err := Insights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Insight (i)", "Insight (ii)", "Insight (iii)",
+		"Insight (v)", "Insight (vi)", "WRN", "MBV2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("insights report missing %q", want)
+		}
+	}
+}
+
+// TestInsightBackwardDominatesBNOpt quantifies insight (ii): on the CPU
+// devices the backward pass must account for the majority of BN-Opt time.
+func TestInsightBackwardDominatesBNOpt(t *testing.T) {
+	p, err := profile.Get("WRN-AM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range []string{"ultra96", "rpi4"} {
+		d, _ := device.ByTag(tag)
+		r, err := device.Estimate(d, device.CPU, p, core.BNOpt, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw := r.Phases.ConvBw + r.Phases.BNBw + r.Phases.OtherBw
+		if bw/r.Seconds < 0.5 {
+			t.Errorf("%s: backward is %.0f%% of BN-Opt time, expected majority", tag, 100*bw/r.Seconds)
+		}
+	}
+}
+
+// TestInsightWRNBestBalance re-derives insight (i): under equal weights,
+// WRN beats RXT and R18 on every device.
+func TestInsightWRNBestBalance(t *testing.T) {
+	for _, devTag := range []string{"ultra96", "rpi4", "xaviernx"} {
+		pts, err := EvaluateAll(EngineCases(devTag, device.CPU), ReferenceErrors())
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := Select(pts, EqualWeights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.ModelTag != "WRN-AM" {
+			t.Errorf("%s: equal-weight best is %s, insight (i) says WRN", devTag, best.ModelTag)
+		}
+	}
+}
+
+// TestInsightMobileNetAdaptationCost verifies the Sec. IV-F claim that
+// MobileNet's 34112 BN parameters make BN adaptation ~2.1x costlier than
+// WRN/R18 despite its tiny MAC count.
+func TestInsightMobileNetAdaptationCost(t *testing.T) {
+	nx, _ := device.ByTag("xaviernx")
+	overhead := func(tag string) float64 {
+		p, err := profile.Get(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := device.AdaptOverhead(nx, device.GPU, p, core.BNNorm, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	mb, wrn, r18 := overhead("MBV2"), overhead("WRN-AM"), overhead("R18-AM-AT")
+	ratio := mb / ((wrn + r18) / 2)
+	if ratio < 1.5 || ratio > 3.5 {
+		t.Errorf("MBV2 adaptation overhead ratio %.2f, paper reports ~2.1x", ratio)
+	}
+	// Yet MobileNet's pure inference is the cheapest of all four models.
+	inf := func(tag string) float64 {
+		p, _ := profile.Get(tag)
+		r, err := device.Estimate(nx, device.GPU, p, core.NoAdapt, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Seconds
+	}
+	if !(inf("MBV2") < inf("WRN-AM") && inf("MBV2") < inf("R18-AM-AT") && inf("MBV2") < inf("RXT-AM")) {
+		t.Error("MBV2 should have the fastest No-Adapt inference")
+	}
+}

@@ -1,0 +1,190 @@
+package study
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+
+	"edgetta/internal/core"
+	"edgetta/internal/data"
+	"edgetta/internal/models"
+	"edgetta/internal/serialize"
+	"edgetta/internal/train"
+)
+
+// MeasuredConfig sizes the real (repro-scale) accuracy experiment.
+type MeasuredConfig struct {
+	Seed        int64
+	Epochs      int               // training epochs (default 4)
+	TrainSize   int               // samples per epoch (default 1536)
+	StreamSize  int               // test samples per corruption (default 600; paper: 10000)
+	Corruptions []data.Corruption // default: all 15
+	Batches     []int             // default: 50, 100, 200
+	Severity    int               // default 5, as in the paper
+	// CheckpointDir, when set, caches trained weights as
+	// <dir>/<tag>.ckpt and reuses them on later runs.
+	CheckpointDir string
+	LogF          func(format string, args ...any)
+}
+
+func (c MeasuredConfig) withDefaults() MeasuredConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 4
+	}
+	if c.TrainSize == 0 {
+		c.TrainSize = 1536
+	}
+	if c.StreamSize == 0 {
+		c.StreamSize = 600
+	}
+	if len(c.Corruptions) == 0 {
+		c.Corruptions = data.AllCorruptions
+	}
+	if len(c.Batches) == 0 {
+		c.Batches = Batches
+	}
+	if c.Severity == 0 {
+		c.Severity = 5
+	}
+	return c
+}
+
+// MeasuredResult holds one model's measured Fig.-2 row set.
+type MeasuredResult struct {
+	ModelTag string
+	CleanErr float64
+	// Err[algo][batchIndex] in percent.
+	Err map[string][]float64
+}
+
+// RunMeasured trains a repro-scale model (robust regime for the ResNet
+// family, plain for MobileNetV2, as in the paper) and measures average
+// corrupted-stream prediction error for the three algorithms at each batch
+// size — the real-experiment counterpart of Fig. 2.
+func RunMeasured(tag string, cfg MeasuredConfig) (*MeasuredResult, error) {
+	cfg = cfg.withDefaults()
+	logf := cfg.LogF
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	m, err := models.ByTag(tag, rand.New(rand.NewSource(cfg.Seed)), models.ReproScale)
+	if err != nil {
+		return nil, err
+	}
+	gen := data.NewGenerator(cfg.Seed + 1000)
+	regime := train.Robust
+	if tag == "MBV2" {
+		regime = train.Plain // the paper's MobileNet is not robust-trained
+	}
+	ckpt := ""
+	if cfg.CheckpointDir != "" {
+		ckpt = filepath.Join(cfg.CheckpointDir, tag+".ckpt")
+	}
+	if ckpt != "" && serialize.LoadFile(ckpt, m) == nil {
+		logf("loaded cached checkpoint %s", ckpt)
+	} else {
+		logf("training %s (repro scale, %v regime)...", tag, regime)
+		train.Train(m, gen, train.Config{
+			Regime: regime, Epochs: cfg.Epochs, TrainSize: cfg.TrainSize,
+			Seed: cfg.Seed, Quiet: true,
+		})
+		if ckpt != "" {
+			if err := serialize.SaveFile(ckpt, m); err != nil {
+				logf("warning: could not save checkpoint: %v", err)
+			}
+		}
+	}
+	res := &MeasuredResult{
+		ModelTag: tag,
+		CleanErr: train.Evaluate(m, gen, cfg.Seed+1, 500, 100) * 100,
+		Err:      map[string][]float64{},
+	}
+	logf("clean error: %.2f%%", res.CleanErr)
+	for _, algo := range core.Algorithms {
+		adapter, err := core.New(algo, m, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		var row []float64
+		for _, batch := range cfg.Batches {
+			total := 0.0
+			for i, c := range cfg.Corruptions {
+				s := gen.NewStream(cfg.Seed+int64(10*i+batch), cfg.StreamSize, c, cfg.Severity)
+				total += core.RunStream(adapter, s, batch).ErrorRate
+			}
+			e := total / float64(len(cfg.Corruptions)) * 100
+			row = append(row, e)
+			logf("%s %s b%d: %.2f%%", tag, algo, batch, e)
+		}
+		res.Err[algo.String()] = row
+	}
+	return res, nil
+}
+
+// TrainedAdapter trains (or loads from the checkpoint cache) a repro-scale
+// model and wraps it with the given adaptation algorithm — the entry point
+// the leaderboard tooling shares with RunMeasured.
+func TrainedAdapter(tag string, algo core.Algorithm, cfg MeasuredConfig) (core.Adapter, *data.Generator, error) {
+	cfg = cfg.withDefaults()
+	logf := cfg.LogF
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	m, err := models.ByTag(tag, rand.New(rand.NewSource(cfg.Seed)), models.ReproScale)
+	if err != nil {
+		return nil, nil, err
+	}
+	gen := data.NewGenerator(cfg.Seed + 1000)
+	regime := train.Robust
+	if tag == "MBV2" {
+		regime = train.Plain
+	}
+	ckpt := ""
+	if cfg.CheckpointDir != "" {
+		ckpt = filepath.Join(cfg.CheckpointDir, tag+".ckpt")
+	}
+	if ckpt != "" && serialize.LoadFile(ckpt, m) == nil {
+		logf("loaded cached checkpoint %s", ckpt)
+	} else {
+		logf("training %s (repro scale, %v regime)...", tag, regime)
+		train.Train(m, gen, train.Config{
+			Regime: regime, Epochs: cfg.Epochs, TrainSize: cfg.TrainSize,
+			Seed: cfg.Seed, Quiet: true,
+		})
+		if ckpt != "" {
+			if err := serialize.SaveFile(ckpt, m); err != nil {
+				logf("warning: could not save checkpoint: %v", err)
+			}
+		}
+	}
+	adapter, err := core.New(algo, m, core.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return adapter, gen, nil
+}
+
+// FormatMeasured renders measured results in the Fig.-2 layout.
+func FormatMeasured(results []*MeasuredResult, cfg MeasuredConfig) string {
+	cfg = cfg.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 2 (measured, repro scale): avg error (%%) over %d corruptions, severity %d, %d samples/stream\n",
+		len(cfg.Corruptions), cfg.Severity, cfg.StreamSize)
+	header := fmt.Sprintf("%-12s %-9s", "model", "algo")
+	for _, batch := range cfg.Batches {
+		header += fmt.Sprintf(" %7s", fmt.Sprintf("b=%d", batch))
+	}
+	fmt.Fprintln(&b, header)
+	for _, r := range results {
+		for _, algo := range core.Algorithms {
+			fmt.Fprintf(&b, "%-12s %-9s", r.ModelTag, algo)
+			for _, e := range r.Err[algo.String()] {
+				fmt.Fprintf(&b, " %7.2f", e)
+			}
+			fmt.Fprintln(&b)
+		}
+		fmt.Fprintf(&b, "%-12s clean error: %.2f%%\n", r.ModelTag, r.CleanErr)
+	}
+	return b.String()
+}

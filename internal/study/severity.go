@@ -1,0 +1,71 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"edgetta/internal/core"
+	"edgetta/internal/data"
+)
+
+// SeveritySweep extends the paper's protocol (which fixes severity 5)
+// across all five CIFAR-10-C severity levels: it runs one adaptation
+// stream per (corruption, severity) cell and returns the error rates.
+type SeveritySweep struct {
+	Corruptions []data.Corruption
+	// Err[i][s-1] is the error rate for Corruptions[i] at severity s.
+	Err [][data.MaxSeverity]float64
+}
+
+// RunSeveritySweep evaluates the adapter across severities. Each cell is
+// an independent episode (the adapter is Reset by RunStream).
+func RunSeveritySweep(a core.Adapter, gen *data.Generator, seed int64,
+	samples, batch int, corruptions []data.Corruption) (SeveritySweep, error) {
+	if len(corruptions) == 0 {
+		return SeveritySweep{}, fmt.Errorf("study: severity sweep needs at least one corruption")
+	}
+	if samples < batch {
+		return SeveritySweep{}, fmt.Errorf("study: need at least one batch (%d < %d)", samples, batch)
+	}
+	sw := SeveritySweep{Corruptions: corruptions, Err: make([][data.MaxSeverity]float64, len(corruptions))}
+	for i, c := range corruptions {
+		for s := 1; s <= data.MaxSeverity; s++ {
+			stream := gen.NewStream(seed+int64(100*i+s), samples, c, s)
+			sw.Err[i][s-1] = core.RunStream(a, stream, batch).ErrorRate
+		}
+	}
+	return sw, nil
+}
+
+// MeanAtSeverity averages the error across corruption families at one
+// severity level.
+func (s SeveritySweep) MeanAtSeverity(severity int) float64 {
+	total := 0.0
+	for i := range s.Err {
+		total += s.Err[i][severity-1]
+	}
+	return total / float64(len(s.Err))
+}
+
+// String renders the sweep as a severity × corruption table.
+func (s SeveritySweep) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s", "corruption")
+	for sev := 1; sev <= data.MaxSeverity; sev++ {
+		fmt.Fprintf(&b, "  sev%d ", sev)
+	}
+	fmt.Fprintln(&b)
+	for i, c := range s.Corruptions {
+		fmt.Fprintf(&b, "%-18s", c)
+		for sev := 1; sev <= data.MaxSeverity; sev++ {
+			fmt.Fprintf(&b, " %5.1f%%", 100*s.Err[i][sev-1])
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "%-18s", "mean")
+	for sev := 1; sev <= data.MaxSeverity; sev++ {
+		fmt.Fprintf(&b, " %5.1f%%", 100*s.MeanAtSeverity(sev))
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package study
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"edgetta/internal/core"
+	"edgetta/internal/data"
+	"edgetta/internal/models"
+	"edgetta/internal/nn"
+)
+
+func microForSweep(seed int64) *models.Model {
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewSequential("micro",
+		nn.NewConv2d("c1", rng, 3, 8, 3, 2, 1, 1),
+		nn.NewBatchNorm2d("bn1", 8),
+		nn.NewReLU("r1"),
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewLinear("fc", rng, 8, 10),
+	)
+	return &models.Model{Name: "micro", Tag: "MICRO", Net: net, Classes: 10, InC: 3, InHW: 32}
+}
+
+func TestSeveritySweepStructure(t *testing.T) {
+	gen := data.NewGenerator(30)
+	a, _ := core.New(core.BNNorm, microForSweep(1), core.Config{})
+	cs := []data.Corruption{data.GaussianNoise, data.Fog}
+	sw, err := RunSeveritySweep(a, gen, 1, 60, 20, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Err) != 2 {
+		t.Fatalf("expected 2 corruption rows, got %d", len(sw.Err))
+	}
+	for i := range sw.Err {
+		for s := 0; s < data.MaxSeverity; s++ {
+			if sw.Err[i][s] < 0 || sw.Err[i][s] > 1 {
+				t.Fatalf("error[%d][%d] = %v out of range", i, s, sw.Err[i][s])
+			}
+		}
+	}
+	out := sw.String()
+	if !strings.Contains(out, "gaussian_noise") || !strings.Contains(out, "mean") {
+		t.Fatalf("rendering incomplete:\n%s", out)
+	}
+	for s := 1; s <= data.MaxSeverity; s++ {
+		if m := sw.MeanAtSeverity(s); m < 0 || m > 1 {
+			t.Fatalf("mean at severity %d = %v", s, m)
+		}
+	}
+}
+
+func TestSeveritySweepValidation(t *testing.T) {
+	gen := data.NewGenerator(31)
+	a, _ := core.New(core.NoAdapt, microForSweep(2), core.Config{})
+	if _, err := RunSeveritySweep(a, gen, 1, 60, 20, nil); err == nil {
+		t.Fatal("empty corruption list must error")
+	}
+	if _, err := RunSeveritySweep(a, gen, 1, 10, 20, []data.Corruption{data.Fog}); err == nil {
+		t.Fatal("samples < batch must error")
+	}
+}

@@ -1,0 +1,83 @@
+package tensor
+
+// Im2Col lowers one image's patch windows into a column matrix for
+// convolution-as-matmul. Input x is a single image [C,H,W] given as a raw
+// slice; the result written into dst is [C*K*K, Hout*Wout] row-major.
+// dst must be pre-sized; entries outside the padded image are zeroed.
+func Im2Col(dst, x []float32, c, h, w, k, stride, pad int) (hout, wout int) {
+	hout = (h+2*pad-k)/stride + 1
+	wout = (w+2*pad-k)/stride + 1
+	cols := hout * wout
+	if len(dst) < c*k*k*cols {
+		panic("tensor: Im2Col dst too short")
+	}
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		plane := x[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				out := dst[row*cols : (row+1)*cols]
+				i := 0
+				for oy := 0; oy < hout; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < wout; ox++ {
+							out[i] = 0
+							i++
+						}
+						continue
+					}
+					base := iy * w
+					ix := -pad + kx
+					for ox := 0; ox < wout; ox++ {
+						if ix >= 0 && ix < w {
+							out[i] = plane[base+ix]
+						} else {
+							out[i] = 0
+						}
+						i++
+						ix += stride
+					}
+				}
+				row++
+			}
+		}
+	}
+	return hout, wout
+}
+
+// Col2Im scatters a column matrix back into an image, accumulating
+// overlapping contributions. cols is [C*K*K, Hout*Wout]; the result is
+// accumulated into dst, a [C,H,W] image slice (caller zeroes it first).
+func Col2Im(dst, cols []float32, c, h, w, k, stride, pad int) {
+	hout := (h+2*pad-k)/stride + 1
+	wout := (w+2*pad-k)/stride + 1
+	n := hout * wout
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		plane := dst[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				src := cols[row*n : (row+1)*n]
+				i := 0
+				for oy := 0; oy < hout; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						i += wout
+						continue
+					}
+					base := iy * w
+					ix := -pad + kx
+					for ox := 0; ox < wout; ox++ {
+						if ix >= 0 && ix < w {
+							plane[base+ix] += src[i]
+						}
+						i++
+						ix += stride
+					}
+				}
+				row++
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package tensor
+
+import (
+	"fmt"
+
+	"edgetta/internal/parallel"
+)
+
+// MatMul computes C = A·B for A [m,k] and B [k,n], returning C [m,n].
+// The inner loops are ordered i-k-j so B is streamed row-wise, and rows of C
+// are computed in parallel.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.NDim() != 2 || b.NDim() != 2 || a.Dim(1) != b.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v × %v", a.Shape(), b.Shape()))
+	}
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := New(m, n)
+	MatMulInto(c.Data, a.Data, b.Data, m, k, n, false)
+	return c
+}
+
+// MatMulInto computes dst = A·B (or dst += A·B when accumulate is true) over
+// raw slices: A is [m,k], B is [k,n], dst is [m,n], all row-major.
+func MatMulInto(dst, a, b []float32, m, k, n int, accumulate bool) {
+	if len(dst) < m*n || len(a) < m*k || len(b) < k*n {
+		panic("tensor: MatMulInto slice too short")
+	}
+	parallel.ForChunked(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := dst[i*n : i*n+n]
+			if !accumulate {
+				for j := range ci {
+					ci[j] = 0
+				}
+			}
+			ai := a[i*k : i*k+k]
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : p*n+n]
+				axpy(av, bp, ci)
+			}
+		}
+	})
+}
+
+// MatMulTransAInto computes dst = Aᵀ·B (or += when accumulate) for A [k,m],
+// B [k,n], dst [m,n]. Used for weight gradients.
+func MatMulTransAInto(dst, a, b []float32, k, m, n int, accumulate bool) {
+	if len(dst) < m*n || len(a) < k*m || len(b) < k*n {
+		panic("tensor: MatMulTransAInto slice too short")
+	}
+	if !accumulate {
+		for i := 0; i < m*n; i++ {
+			dst[i] = 0
+		}
+	}
+	// dst[i,j] += sum_p a[p,i]*b[p,j]; parallelize over output rows i.
+	parallel.ForChunked(m, func(lo, hi int) {
+		for p := 0; p < k; p++ {
+			ap := a[p*m : p*m+m]
+			bp := b[p*n : p*n+n]
+			for i := lo; i < hi; i++ {
+				if av := ap[i]; av != 0 {
+					axpy(av, bp, dst[i*n:i*n+n])
+				}
+			}
+		}
+	})
+}
+
+// MatMulTransBInto computes dst = A·Bᵀ (or += when accumulate) for A [m,k],
+// B [n,k], dst [m,n]. Used for input gradients.
+func MatMulTransBInto(dst, a, b []float32, m, k, n int, accumulate bool) {
+	if len(dst) < m*n || len(a) < m*k || len(b) < n*k {
+		panic("tensor: MatMulTransBInto slice too short")
+	}
+	parallel.ForChunked(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a[i*k : i*k+k]
+			ci := dst[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				s := float32(0)
+				bj := b[j*k : j*k+k]
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				if accumulate {
+					ci[j] += s
+				} else {
+					ci[j] = s
+				}
+			}
+		}
+	})
+}
+
+// axpy computes y += a*x for equal-length slices. The compiler keeps this
+// loop simple enough to vectorize.
+func axpy(a float32, x, y []float32) {
+	_ = y[len(x)-1]
+	for i, xv := range x {
+		y[i] += a * xv
+	}
+}
