@@ -1,0 +1,3 @@
+module edgetta
+
+go 1.24

@@ -51,13 +51,15 @@ func (a *StreamedBNNorm) Algorithm() Algorithm { return BNNorm }
 // Chunk returns the micro-batch size that bounds peak activation memory.
 func (a *StreamedBNNorm) Chunk() int { return a.chunk }
 
-// Process implements Adapter: phase 1 streams micro-chunks through the
-// network in train mode (only to update each BN layer's running
-// statistics — activations of at most chunk images are ever live); phase 2
-// predicts the full batch in eval mode with the refreshed statistics.
-// Phase 2 also proceeds chunk-wise so the activation high-water mark stays
-// chunk-bounded.
-func (a *StreamedBNNorm) Process(x *tensor.Tensor) *tensor.Tensor {
+// forEachChunk runs fn over consecutive micro-batches of x. The chunks
+// must be visited in order and one at a time: phase 1's BN momentum
+// updates form a sequential recurrence, and the memory bound only holds
+// if a single chunk's activations are live. Intra-chunk parallelism is
+// the scheduler's job — with grain-1 per-image loops in the kernels, even
+// a 2-image micro-chunk spreads across the worker pool, which is what
+// makes the streamed driver viable on multi-core edge boards (the old
+// n/64 worker math serialized every micro-batch).
+func (a *StreamedBNNorm) forEachChunk(x *tensor.Tensor, fn func(lo, hi int, sub *tensor.Tensor)) {
 	n := x.Dim(0)
 	imgLen := x.Numel() / n
 	for lo := 0; lo < n; lo += a.chunk {
@@ -66,21 +68,28 @@ func (a *StreamedBNNorm) Process(x *tensor.Tensor) *tensor.Tensor {
 			hi = n
 		}
 		sub := tensor.FromSlice(x.Data[lo*imgLen:hi*imgLen], hi-lo, x.Dim(1), x.Dim(2), x.Dim(3))
-		a.m.Forward(sub, true) // train mode: BN momentum-updates running stats
+		fn(lo, hi, sub)
 	}
+}
+
+// Process implements Adapter: phase 1 streams micro-chunks through the
+// network in train mode (only to update each BN layer's running
+// statistics — activations of at most chunk images are ever live); phase 2
+// predicts the full batch in eval mode with the refreshed statistics.
+// Phase 2 also proceeds chunk-wise so the activation high-water mark stays
+// chunk-bounded.
+func (a *StreamedBNNorm) Process(x *tensor.Tensor) *tensor.Tensor {
+	a.forEachChunk(x, func(lo, hi int, sub *tensor.Tensor) {
+		a.m.Forward(sub, true) // train mode: BN momentum-updates running stats
+	})
 	var out *tensor.Tensor
-	for lo := 0; lo < n; lo += a.chunk {
-		hi := lo + a.chunk
-		if hi > n {
-			hi = n
-		}
-		sub := tensor.FromSlice(x.Data[lo*imgLen:hi*imgLen], hi-lo, x.Dim(1), x.Dim(2), x.Dim(3))
+	a.forEachChunk(x, func(lo, hi int, sub *tensor.Tensor) {
 		logits := a.m.Forward(sub, false)
 		if out == nil {
-			out = tensor.New(n, logits.Dim(1))
+			out = tensor.New(x.Dim(0), logits.Dim(1))
 		}
 		copy(out.Data[lo*logits.Dim(1):hi*logits.Dim(1)], logits.Data)
-	}
+	})
 	return out
 }
 

@@ -96,6 +96,10 @@ func (b *BatchNorm2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 
 	y := tensor.New(x.Shape()...)
+	// parallel.For schedules at grain 1: each channel's statistics pass is
+	// heavy (two sweeps over n·plane values), so even a 16-channel layer
+	// spreads across the pool rather than serializing as it did when the
+	// worker count was derived from n/64.
 	parallel.For(b.C, func(c int) {
 		var mean, varv float32
 		if b.batchMode {

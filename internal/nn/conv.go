@@ -3,11 +3,16 @@ package nn
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"edgetta/internal/parallel"
 	"edgetta/internal/tensor"
 )
+
+// bwGroups is the fixed upper bound on weight-gradient partials in
+// Conv2d.Backward. It is a reduction-shape constant, not a parallelism
+// setting: deriving it from the worker count would make gradient sums
+// depend on the machine.
+const bwGroups = 16
 
 // Conv2d is a 2-D convolution over NCHW tensors with square kernels,
 // symmetric padding, and optional grouping (grouped convolution is what
@@ -66,8 +71,12 @@ func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	cols := outH * outW
 	y := tensor.New(n, c.OutC, outH, outW)
 
-	parallel.ForChunked(n, func(lo, hi int) {
-		buf := make([]float32, rows*cols)
+	// Grain 1: each image is heavy (an im2col plus a matmul per group), so
+	// even a micro-batch of 2 should use 2 workers. The inner matmul calls
+	// degrade to inline execution while the pool is busy with this loop.
+	parallel.ForGrain(n, 1, func(lo, hi int) {
+		buf := tensor.GetScratch(rows * cols)
+		defer tensor.PutScratch(buf)
 		for img := lo; img < hi; img++ {
 			xImg := x.Data[img*c.InC*h*w : (img+1)*c.InC*h*w]
 			yImg := y.Data[img*c.OutC*cols : (img+1)*c.OutC*cols]
@@ -106,11 +115,35 @@ func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	cols := c.outH * c.outW
 	dx := tensor.New(x.Shape()...)
 
-	var mu sync.Mutex
-	parallel.ForChunked(n, func(lo, hi int) {
-		colBuf := make([]float32, rows*cols)
-		dcolBuf := make([]float32, rows*cols)
-		dw := make([]float32, len(c.Weight.Data))
+	// The weight gradient sums contributions from every image, and float
+	// addition is not associative, so the reduction must not depend on how
+	// the scheduler happens to interleave chunks (the previous code merged
+	// per-chunk partials under a mutex in completion order, which is only
+	// deterministic when a single worker runs). Images are therefore
+	// partitioned into a fixed number of groups derived from the batch size
+	// alone, each group accumulates its partial in image order, and the
+	// partials are merged in group order afterwards — bit-identical results
+	// for every worker count.
+	groups := bwGroups
+	if n < groups {
+		groups = n
+	}
+	if groups == 0 {
+		profEnd(KindConv, true, t0)
+		return dx
+	}
+	span := (n + groups - 1) / groups
+	groups = (n + span - 1) / span // drop groups the ceiling left empty
+	partials := make([][]float32, groups)
+	parallel.For(groups, func(gi int) {
+		lo, hi := gi*span, (gi+1)*span
+		if hi > n {
+			hi = n
+		}
+		colBuf := tensor.GetScratch(rows * cols)
+		dcolBuf := tensor.GetScratch(rows * cols)
+		dw := tensor.GetScratch(len(c.Weight.Data))
+		clear(dw)
 		for img := lo; img < hi; img++ {
 			xImg := x.Data[img*c.InC*h*w : (img+1)*c.InC*h*w]
 			gImg := grad.Data[img*c.OutC*cols : (img+1)*c.OutC*cols]
@@ -126,12 +159,16 @@ func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				tensor.Col2Im(dxImg[g*inCg*h*w:(g+1)*inCg*h*w], dcolBuf, inCg, h, w, c.K, c.Stride, c.Pad)
 			}
 		}
-		mu.Lock()
+		partials[gi] = dw
+		tensor.PutScratch(colBuf)
+		tensor.PutScratch(dcolBuf)
+	})
+	for _, dw := range partials {
 		for i, v := range dw {
 			c.Weight.Grad[i] += v
 		}
-		mu.Unlock()
-	})
+		tensor.PutScratch(dw)
+	}
 	profEnd(KindConv, true, t0)
 	return dx
 }

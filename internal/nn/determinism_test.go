@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgetta/internal/parallel"
+	"edgetta/internal/tensor"
+)
+
+func float32BitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConvDeterministicAcrossWorkerCounts pins the scheduler's contract at
+// the layer level: a convolution's forward output, input gradient, and
+// weight gradient must be bit-identical whether the pool runs one worker
+// or eight. The weight gradient is the sharp edge — it is a reduction over
+// images, which the old code merged in chunk-completion order.
+func TestConvDeterministicAcrossWorkerCounts(t *testing.T) {
+	type result struct{ y, dx, dw []float32 }
+	run := func(workers int) result {
+		parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(0)
+		rng := rand.New(rand.NewSource(23))
+		conv := NewConv2d("c", rng, 4, 6, 3, 1, 1, 2)
+		x := tensor.New(8, 4, 9, 9)
+		x.Randn(rng, 1)
+		y := conv.Forward(x, true)
+		grad := tensor.New(y.Shape()...)
+		grad.Randn(rng, 1)
+		dx := conv.Backward(grad)
+		return result{
+			y:  append([]float32(nil), y.Data...),
+			dx: append([]float32(nil), dx.Data...),
+			dw: append([]float32(nil), conv.Weight.Grad...),
+		}
+	}
+	one := run(1)
+	eight := run(8)
+	if !float32BitsEqual(one.y, eight.y) {
+		t.Error("conv forward differs between 1 and 8 workers")
+	}
+	if !float32BitsEqual(one.dx, eight.dx) {
+		t.Error("conv input gradient differs between 1 and 8 workers")
+	}
+	if !float32BitsEqual(one.dw, eight.dw) {
+		t.Error("conv weight gradient differs between 1 and 8 workers")
+	}
+}
+
+// TestBatchNormDeterministicAcrossWorkerCounts covers the per-channel
+// coarse loop (grain 1) in both statistics modes.
+func TestBatchNormDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) ([]float32, []float32, []float32) {
+		parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(0)
+		rng := rand.New(rand.NewSource(29))
+		bn := NewBatchNorm2d("bn", 16)
+		x := tensor.New(6, 16, 7, 7)
+		x.Randn(rng, 1)
+		y := bn.Forward(x, true)
+		grad := tensor.New(y.Shape()...)
+		grad.Randn(rng, 1)
+		dx := bn.Backward(grad)
+		return append([]float32(nil), y.Data...),
+			append([]float32(nil), dx.Data...),
+			append([]float32(nil), bn.RunningMean...)
+	}
+	y1, dx1, rm1 := run(1)
+	y8, dx8, rm8 := run(8)
+	if !float32BitsEqual(y1, y8) {
+		t.Error("batchnorm forward differs between 1 and 8 workers")
+	}
+	if !float32BitsEqual(dx1, dx8) {
+		t.Error("batchnorm backward differs between 1 and 8 workers")
+	}
+	if !float32BitsEqual(rm1, rm8) {
+		t.Error("batchnorm running stats differ between 1 and 8 workers")
+	}
+}

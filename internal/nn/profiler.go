@@ -10,6 +10,13 @@ import (
 // when enabled, every layer records the wall time of its Forward and
 // Backward calls, aggregated by layer kind. Disabled, the instrumentation
 // is a nil check per layer call.
+//
+// Attribution with the pooled scheduler: layers execute their parallel
+// loops fork-join through internal/parallel, and the join happens before
+// profEnd, so the wall time recorded for a layer spans all pooled-worker
+// activity that layer caused and nothing else. Nested loops (a matmul
+// inside a per-image conv loop) run inline on the pool's workers and are
+// likewise contained in the issuing layer's interval.
 
 // PhaseTotals aggregates profiled wall time by layer kind and direction.
 type PhaseTotals struct {

@@ -1,54 +1,224 @@
-// Package parallel provides a small deterministic fork-join helper used by
-// the compute kernels in this repository. Work is split into contiguous
-// chunks so that results are bit-identical regardless of GOMAXPROCS.
+// Package parallel is the repository's compute scheduler: a lazily
+// started, persistent pool of worker goroutines that executes
+// deterministic fork-join loops for the tensor and layer kernels.
+//
+// # Scheduling model
+//
+// Work is always split into contiguous index ranges, so a loop's writes
+// are disjoint and its results are bit-identical regardless of how many
+// workers execute it — the determinism contract the study and leaderboard
+// harnesses rely on. The split is computed from the loop bounds and the
+// configured worker count only; which goroutine runs which range is
+// irrelevant to the result.
+//
+// Chunks are handed to pool workers by non-blocking rendezvous: a chunk is
+// either accepted by a worker that is idle right now or runs inline on the
+// caller. This bounds concurrency by the pool size with no task queue to
+// deadlock on, and it is also the nested-parallelism guard: a loop issued
+// from inside a pool worker (e.g. a matmul under a per-image convolution
+// loop) finds no idle workers and degrades to inline execution instead of
+// oversubscribing the machine.
+//
+// # Grain semantics
+//
+// The grain is the smallest number of consecutive indices worth scheduling
+// as one unit; n indices are split into at most ceil(n/grain) ranges
+// (never more than the worker count). Coarse loops whose per-index work is
+// itself heavy — one image of a convolution, one channel of a BatchNorm —
+// use grain 1 so that even a batch of 2 uses 2 workers. Fine element-wise
+// loops keep a large grain (DefaultGrain) so scheduling overhead cannot
+// dominate. The previous implementation derived the worker count as
+// n/minChunk, which truncates to zero for n < 64 and silently serialized
+// every coarse per-image loop; ForGrain fixes that at the root.
+//
+// # Sizing
+//
+// The pool is sized from, in order of precedence: SetWorkers, the
+// EDGETTA_WORKERS environment variable, and GOMAXPROCS at first use.
+// Sizing is sticky: later GOMAXPROCS changes are ignored (use SetWorkers,
+// which exists for tests and device-simulation fidelity, to resize).
 package parallel
 
 import (
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
-// minChunk is the smallest amount of work items worth spawning a goroutine
-// for. Tiny loops run inline to avoid scheduling overhead dominating.
-const minChunk = 64
+// DefaultGrain is the grain used by ForChunked: the smallest number of
+// consecutive indices of a fine element-wise loop worth scheduling as one
+// unit.
+const DefaultGrain = 64
 
-// For runs fn(i) for every i in [0, n) using up to GOMAXPROCS workers.
-// fn must be safe to call concurrently for distinct i.
+type task struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// pool is a fixed set of worker goroutines. A worker deposits an idle
+// token before each task receive; submitters must take a token before
+// sending, so every send is matched to a worker that is (or is about to
+// be) blocked receiving, and the buffered task channel can never fill.
+type pool struct {
+	size  int
+	tasks chan task
+	idle  chan struct{}
+}
+
+func (p *pool) worker() {
+	for {
+		p.idle <- struct{}{}
+		t, ok := <-p.tasks
+		if !ok {
+			return
+		}
+		t.fn(t.lo, t.hi)
+		t.wg.Done()
+	}
+}
+
+// trySubmit hands t to an idle worker, or reports false if none is
+// available right now (including when called from inside a worker while
+// the pool is saturated — the nested-oversubscription case).
+func (p *pool) trySubmit(t task) bool {
+	select {
+	case <-p.idle:
+	default:
+		return false
+	}
+	p.tasks <- t
+	return true
+}
+
+var (
+	mu       sync.Mutex           // guards pool creation and SetWorkers
+	cur      atomic.Pointer[pool] // nil until first use or after SetWorkers
+	override int                  // 0 means auto-size
+)
+
+func defaultWorkers() int {
+	if s := os.Getenv("EDGETTA_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// get returns the current pool, starting it on first use. The loaded
+// pointer is the fast path: every kernel launch — including the nested
+// ones issued concurrently by pool workers — goes through here, so it
+// must not contend on a lock.
+func get() *pool {
+	if p := cur.Load(); p != nil {
+		return p
+	}
+	return getSlow()
+}
+
+func getSlow() *pool {
+	mu.Lock()
+	defer mu.Unlock()
+	if p := cur.Load(); p != nil {
+		return p
+	}
+	size := override
+	if size == 0 {
+		size = defaultWorkers()
+	}
+	p := &pool{size: size}
+	if size > 1 {
+		p.tasks = make(chan task, size)
+		p.idle = make(chan struct{}, size)
+		for i := 0; i < size; i++ {
+			go p.worker()
+		}
+	}
+	cur.Store(p)
+	return p
+}
+
+// Workers returns the scheduler's parallelism width: the number of worker
+// goroutines loop bodies may execute on (1 means loops run inline).
+func Workers() int { return get().size }
+
+// SetWorkers resizes the pool to exactly n workers (n <= 0 restores
+// auto-sizing). It exists for tests and for device-simulation fidelity —
+// pinning the schedule of a simulated device regardless of the host.
+// It must not be called concurrently with active loops.
+func SetWorkers(n int) {
+	mu.Lock()
+	defer mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	override = n
+	if p := cur.Load(); p != nil && p.tasks != nil {
+		close(p.tasks)
+	}
+	cur.Store(nil)
+}
+
+// For runs fn(i) for every i in [0, n). It is the coarse-loop entry point:
+// each index may carry heavy work (an image, a channel), so the split uses
+// grain 1. fn must be safe to call concurrently for distinct i.
 func For(n int, fn func(i int)) {
-	ForChunked(n, func(lo, hi int) {
+	ForGrain(n, 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(i)
 		}
 	})
 }
 
-// ForChunked splits [0, n) into contiguous ranges and runs fn(lo, hi) for
-// each range concurrently. fn must be safe to call concurrently for
+// ForChunked splits [0, n) into at most ceil(n/DefaultGrain) contiguous
+// ranges (the grain bounds the number of splits, not the minimum range
+// size) and runs fn(lo, hi) for each range concurrently. It is the fine
+// element-wise entry point. fn must be safe to call concurrently for
 // non-overlapping ranges.
 func ForChunked(n int, fn func(lo, hi int)) {
+	ForGrain(n, DefaultGrain, fn)
+}
+
+// ForGrain splits [0, n) into at most ceil(n/grain) contiguous ranges
+// (and at most Workers() of them) and runs fn(lo, hi) for each range
+// concurrently, the caller executing the ranges no idle worker accepts.
+// fn must be safe to call concurrently for non-overlapping ranges, and its
+// writes for a given index must not depend on the range boundaries — the
+// package promises bit-identical results for every worker count.
+func ForGrain(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n/minChunk {
-		workers = n / minChunk
+	if grain < 1 {
+		grain = 1
 	}
-	if workers <= 1 {
+	p := get()
+	w := p.size
+	if maxSplit := (n + grain - 1) / grain; w > maxSplit {
+		w = maxSplit
+	}
+	if w <= 1 {
 		fn(0, n)
 		return
 	}
-	chunk := (n + workers - 1) / workers
+	chunk := (n + w - 1) / w
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
-		if hi > n {
-			hi = n
+		if hi >= n {
+			// The caller keeps the final range for itself so it works
+			// instead of idling while the pool drains.
+			fn(lo, n)
+			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		if !p.trySubmit(task{fn, lo, hi, &wg}) {
 			fn(lo, hi)
-		}(lo, hi)
+			wg.Done()
+		}
 	}
 	wg.Wait()
 }

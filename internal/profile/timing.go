@@ -7,17 +7,26 @@ import (
 	"edgetta/internal/core"
 	"edgetta/internal/models"
 	"edgetta/internal/nn"
+	"edgetta/internal/parallel"
 	"edgetta/internal/tensor"
 )
 
 // RealBreakdown is a measured (Go-runtime) counterpart of the simulator's
 // per-kind phase breakdown: the same methodology as the paper's PyTorch
 // Autograd profiler, applied to this repository's own kernels.
+//
+// Timing remains attributable with the pooled scheduler because every
+// layer's parallel loops are fork-join: the join completes before the
+// layer's profEnd fires, so pooled-worker time lands in the layer that
+// issued it, never in a neighbor. Workers records the pool width the
+// measurement ran with, since per-kind wall time is only comparable
+// between runs at equal parallelism.
 type RealBreakdown struct {
 	ModelTag string
 	Algo     core.Algorithm
 	Batch    int
 	Repeats  int
+	Workers  int
 	Totals   nn.PhaseTotals
 }
 
@@ -34,7 +43,8 @@ func (r RealBreakdown) ConvBwOverFw() float64 {
 // String renders the breakdown in the layout of Figs. 4/7/10.
 func (r RealBreakdown) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s %s b%d (measured on this host, %d repeats):\n", r.ModelTag, r.Algo, r.Batch, r.Repeats)
+	fmt.Fprintf(&b, "%s %s b%d (measured on this host, %d repeats, %d workers):\n",
+		r.ModelTag, r.Algo, r.Batch, r.Repeats, r.Workers)
 	for _, kind := range []nn.Kind{nn.KindConv, nn.KindBN, nn.KindAct, nn.KindPool, nn.KindLinear} {
 		fmt.Fprintf(&b, "  %-7s fw %8.4fs (%4d calls)   bw %8.4fs (%4d calls)\n",
 			kind, r.Totals.FwSeconds[kind], r.Totals.FwCalls[kind],
@@ -65,5 +75,5 @@ func MeasureBreakdown(m *models.Model, algo core.Algorithm, batch, repeats int) 
 	}
 	totals := nn.StopProfiling()
 	return RealBreakdown{ModelTag: m.Tag, Algo: algo, Batch: batch,
-		Repeats: repeats, Totals: totals}, nil
+		Repeats: repeats, Workers: parallel.Workers(), Totals: totals}, nil
 }

@@ -1,9 +1,35 @@
 package tensor
 
+// clipX returns the [lo, hi) range of output columns whose sampled input
+// column ox*stride+off lands inside [0, w); columns outside the range hit
+// padding.
+func clipX(wout, stride, off, w int) (lo, hi int) {
+	lo = 0
+	if off < 0 {
+		lo = (-off + stride - 1) / stride
+		if lo > wout {
+			lo = wout
+		}
+	}
+	hi = wout
+	if maxIx := w - 1 - off; maxIx < 0 {
+		hi = 0
+	} else if m := maxIx/stride + 1; m < wout {
+		hi = m
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
 // Im2Col lowers one image's patch windows into a column matrix for
 // convolution-as-matmul. Input x is a single image [C,H,W] given as a raw
 // slice; the result written into dst is [C*K*K, Hout*Wout] row-major.
 // dst must be pre-sized; entries outside the padded image are zeroed.
+// Each output row decomposes into a zeroed padding prefix/suffix and an
+// in-bounds middle that is a contiguous copy at stride 1 (the common
+// case) or a strided gather otherwise.
 func Im2Col(dst, x []float32, c, h, w, k, stride, pad int) (hout, wout int) {
 	hout = (h+2*pad-k)/stride + 1
 	wout = (w+2*pad-k)/stride + 1
@@ -17,26 +43,32 @@ func Im2Col(dst, x []float32, c, h, w, k, stride, pad int) (hout, wout int) {
 		for ky := 0; ky < k; ky++ {
 			for kx := 0; kx < k; kx++ {
 				out := dst[row*cols : (row+1)*cols]
-				i := 0
+				off := kx - pad
+				lo, hi := clipX(wout, stride, off, w)
 				for oy := 0; oy < hout; oy++ {
 					iy := oy*stride - pad + ky
+					seg := out[oy*wout : (oy+1)*wout]
 					if iy < 0 || iy >= h {
-						for ox := 0; ox < wout; ox++ {
-							out[i] = 0
-							i++
-						}
+						clear(seg)
 						continue
 					}
-					base := iy * w
-					ix := -pad + kx
-					for ox := 0; ox < wout; ox++ {
-						if ix >= 0 && ix < w {
-							out[i] = plane[base+ix]
-						} else {
-							out[i] = 0
+					clear(seg[:lo])
+					clear(seg[hi:])
+					if lo == hi {
+						// Every column of this row hits padding (kernel
+						// wider than the padded image): nothing to copy,
+						// and base+lo could point outside the plane.
+						continue
+					}
+					base := iy*w + off
+					if stride == 1 {
+						copy(seg[lo:hi], plane[base+lo:base+hi])
+					} else {
+						ix := base + lo*stride
+						for ox := lo; ox < hi; ox++ {
+							seg[ox] = plane[ix]
+							ix += stride
 						}
-						i++
-						ix += stride
 					}
 				}
 				row++
@@ -49,6 +81,9 @@ func Im2Col(dst, x []float32, c, h, w, k, stride, pad int) (hout, wout int) {
 // Col2Im scatters a column matrix back into an image, accumulating
 // overlapping contributions. cols is [C*K*K, Hout*Wout]; the result is
 // accumulated into dst, a [C,H,W] image slice (caller zeroes it first).
+// The in-bounds middle of each row is a vectorized add at stride 1.
+// Accumulation order per image element is unchanged from the scalar
+// formulation (rows in ascending order), so results are bit-identical.
 func Col2Im(dst, cols []float32, c, h, w, k, stride, pad int) {
 	hout := (h+2*pad-k)/stride + 1
 	wout := (w+2*pad-k)/stride + 1
@@ -59,21 +94,26 @@ func Col2Im(dst, cols []float32, c, h, w, k, stride, pad int) {
 		for ky := 0; ky < k; ky++ {
 			for kx := 0; kx < k; kx++ {
 				src := cols[row*n : (row+1)*n]
-				i := 0
+				off := kx - pad
+				lo, hi := clipX(wout, stride, off, w)
 				for oy := 0; oy < hout; oy++ {
 					iy := oy*stride - pad + ky
-					if iy < 0 || iy >= h {
-						i += wout
+					if iy < 0 || iy >= h || lo == hi {
 						continue
 					}
-					base := iy * w
-					ix := -pad + kx
-					for ox := 0; ox < wout; ox++ {
-						if ix >= 0 && ix < w {
-							plane[base+ix] += src[i]
+					base := iy*w + off
+					seg := src[oy*wout:]
+					if stride == 1 {
+						// plane[base+ox] += seg[ox]: a unit axpy (1*x
+						// rounds to x, so this matches the scalar loop
+						// bit for bit).
+						axpy(1, seg[lo:hi], plane[base+lo:base+hi])
+					} else {
+						ix := base + lo*stride
+						for ox := lo; ox < hi; ox++ {
+							plane[ix] += seg[ox]
+							ix += stride
 						}
-						i++
-						ix += stride
 					}
 				}
 				row++

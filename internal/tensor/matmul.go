@@ -6,9 +6,36 @@ import (
 	"edgetta/internal/parallel"
 )
 
+// Cache-blocking parameters for the tiled kernels. A B panel is
+// mmBlockK×mmBlockN floats (≤128KB), sized to stay resident in L2 while
+// it is reused across every output row of a chunk; one panel row (≤1KB)
+// and the C segments it updates live in L1. Tile boundaries never change
+// the order in which a given output element accumulates its k products
+// (always ascending p), so the tiled kernels are bit-identical to the
+// untiled i-k-j loops they replaced, for every tile size and worker count.
+const (
+	mmBlockN   = 256
+	mmBlockK   = 128
+	mmDotBlock = 32 // B rows kept hot per pass of the A·Bᵀ kernel
+)
+
+// rowGrain picks the scheduling grain for loops over output rows so one
+// scheduled unit carries at least ~32k flops: whole-row granularity for
+// convolution-sized matmuls, coarser bundles for skinny ones.
+func rowGrain(k, n int) int {
+	const targetFlops = 32 * 1024
+	per := 2 * k * n
+	if per <= 0 {
+		return parallel.DefaultGrain
+	}
+	g := targetFlops / per
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
 // MatMul computes C = A·B for A [m,k] and B [k,n], returning C [m,n].
-// The inner loops are ordered i-k-j so B is streamed row-wise, and rows of C
-// are computed in parallel.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.NDim() != 2 || b.NDim() != 2 || a.Dim(1) != b.Dim(0) {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v × %v", a.Shape(), b.Shape()))
@@ -19,88 +46,102 @@ func MatMul(a, b *Tensor) *Tensor {
 	return c
 }
 
-// MatMulInto computes dst = A·B (or dst += A·B when accumulate is true) over
-// raw slices: A is [m,k], B is [k,n], dst is [m,n], all row-major.
+// MatMulInto computes dst = A·B (or dst += A·B when accumulate is true)
+// over raw slices: A is [m,k], B is [k,n], dst is [m,n], all row-major.
+// Output rows are computed in parallel; within a chunk the loops are tiled
+// over k and n so each B panel is loaded once per chunk of rows.
 func MatMulInto(dst, a, b []float32, m, k, n int, accumulate bool) {
 	if len(dst) < m*n || len(a) < m*k || len(b) < k*n {
 		panic("tensor: MatMulInto slice too short")
 	}
-	parallel.ForChunked(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := dst[i*n : i*n+n]
-			if !accumulate {
-				for j := range ci {
-					ci[j] = 0
-				}
+	parallel.ForGrain(m, rowGrain(k, n), func(lo, hi int) {
+		if !accumulate {
+			clear(dst[lo*n : hi*n])
+		}
+		for jb := 0; jb < n; jb += mmBlockN {
+			jn := n - jb
+			if jn > mmBlockN {
+				jn = mmBlockN
 			}
-			ai := a[i*k : i*k+k]
-			for p, av := range ai {
-				if av == 0 {
-					continue
+			for pb := 0; pb < k; pb += mmBlockK {
+				pk := k - pb
+				if pk > mmBlockK {
+					pk = mmBlockK
 				}
-				bp := b[p*n : p*n+n]
-				axpy(av, bp, ci)
+				for i := lo; i < hi; i++ {
+					ci := dst[i*n+jb : i*n+jb+jn]
+					ai := a[i*k+pb : i*k+pb+pk]
+					for p, av := range ai {
+						if av == 0 {
+							continue
+						}
+						row := (pb + p) * n
+						axpy(av, b[row+jb:row+jb+jn], ci)
+					}
+				}
 			}
 		}
 	})
 }
 
-// MatMulTransAInto computes dst = Aᵀ·B (or += when accumulate) for A [k,m],
-// B [k,n], dst [m,n]. Used for weight gradients.
+// MatMulTransAInto computes dst = Aᵀ·B (or += when accumulate) for A
+// [k,m], B [k,n], dst [m,n]. Used for weight gradients. Parallel over
+// output rows; tiled over n so a chunk's dst panel stays cached while B
+// streams through it.
 func MatMulTransAInto(dst, a, b []float32, k, m, n int, accumulate bool) {
 	if len(dst) < m*n || len(a) < k*m || len(b) < k*n {
 		panic("tensor: MatMulTransAInto slice too short")
 	}
-	if !accumulate {
-		for i := 0; i < m*n; i++ {
-			dst[i] = 0
+	parallel.ForGrain(m, rowGrain(k, n), func(lo, hi int) {
+		if !accumulate {
+			clear(dst[lo*n : hi*n])
 		}
-	}
-	// dst[i,j] += sum_p a[p,i]*b[p,j]; parallelize over output rows i.
-	parallel.ForChunked(m, func(lo, hi int) {
-		for p := 0; p < k; p++ {
-			ap := a[p*m : p*m+m]
-			bp := b[p*n : p*n+n]
-			for i := lo; i < hi; i++ {
-				if av := ap[i]; av != 0 {
-					axpy(av, bp, dst[i*n:i*n+n])
+		for jb := 0; jb < n; jb += mmBlockN {
+			jn := n - jb
+			if jn > mmBlockN {
+				jn = mmBlockN
+			}
+			for p := 0; p < k; p++ {
+				ap := a[p*m : p*m+m]
+				bp := b[p*n+jb : p*n+jb+jn]
+				for i := lo; i < hi; i++ {
+					if av := ap[i]; av != 0 {
+						axpy(av, bp, dst[i*n+jb:i*n+jb+jn])
+					}
 				}
 			}
 		}
 	})
 }
 
-// MatMulTransBInto computes dst = A·Bᵀ (or += when accumulate) for A [m,k],
-// B [n,k], dst [m,n]. Used for input gradients.
+// MatMulTransBInto computes dst = A·Bᵀ (or += when accumulate) for A
+// [m,k], B [n,k], dst [m,n]. Used for input gradients and fully connected
+// layers. Both operands are traversed along contiguous rows, so each
+// element is one dot product; B rows are processed in blocks that stay
+// cached across a chunk's rows of A.
 func MatMulTransBInto(dst, a, b []float32, m, k, n int, accumulate bool) {
 	if len(dst) < m*n || len(a) < m*k || len(b) < n*k {
 		panic("tensor: MatMulTransBInto slice too short")
 	}
-	parallel.ForChunked(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a[i*k : i*k+k]
-			ci := dst[i*n : i*n+n]
-			for j := 0; j < n; j++ {
-				s := float32(0)
-				bj := b[j*k : j*k+k]
-				for p, av := range ai {
-					s += av * bj[p]
-				}
-				if accumulate {
-					ci[j] += s
-				} else {
-					ci[j] = s
+	parallel.ForGrain(m, rowGrain(k, n), func(lo, hi int) {
+		for jb := 0; jb < n; jb += mmDotBlock {
+			jn := n - jb
+			if jn > mmDotBlock {
+				jn = mmDotBlock
+			}
+			for i := lo; i < hi; i++ {
+				ai := a[i*k : i*k+k]
+				ci := dst[i*n+jb : i*n+jb+jn]
+				for j := 0; j < jn; j++ {
+					row := (jb + j) * k
+					s := dot(ai, b[row:row+k])
+					if accumulate {
+						ci[j] += s
+					} else {
+						ci[j] = s
+					}
 				}
 			}
 		}
 	})
-}
-
-// axpy computes y += a*x for equal-length slices. The compiler keeps this
-// loop simple enough to vectorize.
-func axpy(a float32, x, y []float32) {
-	_ = y[len(x)-1]
-	for i, xv := range x {
-		y[i] += a * xv
-	}
 }

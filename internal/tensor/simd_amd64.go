@@ -1,0 +1,62 @@
+//go:build amd64
+
+package tensor
+
+// CPUID-based feature detection for the AVX2 kernels in simd_amd64.s.
+// AVX2 requires CPU support (leaf 7 EBX bit 5), AVX+OSXSAVE (leaf 1 ECX
+// bits 28/27), and the OS saving XMM+YMM state (XCR0 bits 1 and 2).
+
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+//go:noescape
+func axpyAVX2(a float32, x, y []float32)
+
+//go:noescape
+func dotAVX2(x, y []float32) float32
+
+var hasAVX2 = func() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if xcr0, _ := xgetbv(); xcr0&6 != 6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return b7&avx2 != 0
+}()
+
+// axpy computes y[i] += a*x[i] over len(x) elements. The AVX2 path uses
+// separate multiply and add instructions, so its results are bit-identical
+// to the scalar fallback.
+func axpy(a float32, x, y []float32) {
+	if len(x) == 0 {
+		return
+	}
+	_ = y[len(x)-1]
+	if hasAVX2 {
+		axpyAVX2(a, x, y)
+		return
+	}
+	axpyGeneric(a, x, y)
+}
+
+// dot returns sum_i x[i]*y[i] over len(x) elements. The AVX2 path reduces
+// in a fixed lane order, deterministic for any worker count.
+func dot(x, y []float32) float32 {
+	if len(x) == 0 {
+		return 0
+	}
+	_ = y[len(x)-1]
+	if hasAVX2 {
+		return dotAVX2(x, y)
+	}
+	return dotGeneric(x, y)
+}

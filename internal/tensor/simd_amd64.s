@@ -1,0 +1,163 @@
+// AVX2 kernels for the two inner loops every figure benchmark sits on.
+//
+// axpyAVX2 uses separate VMULPS/VADDPS (never FMA): each y[i] += a*x[i] is
+// two correctly-rounded float32 operations, exactly like the scalar
+// fallback, so vectorization cannot change a single output bit and the
+// package's determinism contract holds across architectures and worker
+// counts alike.
+//
+// dotAVX2 accumulates in four independent 8-lane registers and reduces at
+// the end; the reduction order is fixed by the kernel, so results are
+// deterministic for any worker count (they differ from the scalar
+// fallback's left-to-right order, which only non-amd64 builds use).
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL	eaxIn+0(FP), AX
+	MOVL	ecxIn+4(FP), CX
+	CPUID
+	MOVL	AX, eax+8(FP)
+	MOVL	BX, ebx+12(FP)
+	MOVL	CX, ecx+16(FP)
+	MOVL	DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL	CX, CX
+	XGETBV
+	MOVL	AX, eax+0(FP)
+	MOVL	DX, edx+4(FP)
+	RET
+
+// func axpyAVX2(a float32, x, y []float32)
+// y[i] += a * x[i] for i in [0, len(x)); len(y) >= len(x) is the caller's
+// responsibility (the Go wrapper checks it).
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-56
+	MOVSS	a+0(FP), X0
+	VBROADCASTSS	X0, Y0
+	MOVQ	x_base+8(FP), SI
+	MOVQ	y_base+32(FP), DI
+	MOVQ	x_len+16(FP), CX
+
+axpy_loop32:
+	CMPQ	CX, $32
+	JL	axpy_tail8
+	VMOVUPS	(SI), Y1
+	VMOVUPS	32(SI), Y2
+	VMOVUPS	64(SI), Y3
+	VMOVUPS	96(SI), Y4
+	VMULPS	Y0, Y1, Y1
+	VMULPS	Y0, Y2, Y2
+	VMULPS	Y0, Y3, Y3
+	VMULPS	Y0, Y4, Y4
+	VADDPS	(DI), Y1, Y1
+	VADDPS	32(DI), Y2, Y2
+	VADDPS	64(DI), Y3, Y3
+	VADDPS	96(DI), Y4, Y4
+	VMOVUPS	Y1, (DI)
+	VMOVUPS	Y2, 32(DI)
+	VMOVUPS	Y3, 64(DI)
+	VMOVUPS	Y4, 96(DI)
+	ADDQ	$128, SI
+	ADDQ	$128, DI
+	SUBQ	$32, CX
+	JMP	axpy_loop32
+
+axpy_tail8:
+	CMPQ	CX, $8
+	JL	axpy_tail1
+	VMOVUPS	(SI), Y1
+	VMULPS	Y0, Y1, Y1
+	VADDPS	(DI), Y1, Y1
+	VMOVUPS	Y1, (DI)
+	ADDQ	$32, SI
+	ADDQ	$32, DI
+	SUBQ	$8, CX
+	JMP	axpy_tail8
+
+axpy_tail1:
+	TESTQ	CX, CX
+	JZ	axpy_done
+	MOVSS	(SI), X1
+	MULSS	X0, X1
+	ADDSS	(DI), X1
+	MOVSS	X1, (DI)
+	ADDQ	$4, SI
+	ADDQ	$4, DI
+	DECQ	CX
+	JMP	axpy_tail1
+
+axpy_done:
+	VZEROUPPER
+	RET
+
+// func dotAVX2(x, y []float32) float32
+// Returns sum_i x[i]*y[i] over len(x) elements; len(y) >= len(x) is the
+// caller's responsibility.
+TEXT ·dotAVX2(SB), NOSPLIT, $0-52
+	MOVQ	x_base+0(FP), SI
+	MOVQ	y_base+24(FP), DI
+	MOVQ	x_len+8(FP), CX
+	VXORPS	Y0, Y0, Y0
+	VXORPS	Y1, Y1, Y1
+	VXORPS	Y2, Y2, Y2
+	VXORPS	Y3, Y3, Y3
+
+dot_loop32:
+	CMPQ	CX, $32
+	JL	dot_tail8
+	VMOVUPS	(SI), Y4
+	VMOVUPS	32(SI), Y5
+	VMOVUPS	64(SI), Y6
+	VMOVUPS	96(SI), Y7
+	VMULPS	(DI), Y4, Y4
+	VMULPS	32(DI), Y5, Y5
+	VMULPS	64(DI), Y6, Y6
+	VMULPS	96(DI), Y7, Y7
+	VADDPS	Y4, Y0, Y0
+	VADDPS	Y5, Y1, Y1
+	VADDPS	Y6, Y2, Y2
+	VADDPS	Y7, Y3, Y3
+	ADDQ	$128, SI
+	ADDQ	$128, DI
+	SUBQ	$32, CX
+	JMP	dot_loop32
+
+dot_tail8:
+	CMPQ	CX, $8
+	JL	dot_reduce
+	VMOVUPS	(SI), Y4
+	VMULPS	(DI), Y4, Y4
+	VADDPS	Y4, Y0, Y0
+	ADDQ	$32, SI
+	ADDQ	$32, DI
+	SUBQ	$8, CX
+	JMP	dot_tail8
+
+dot_reduce:
+	VADDPS	Y1, Y0, Y0
+	VADDPS	Y3, Y2, Y2
+	VADDPS	Y2, Y0, Y0
+	VEXTRACTF128	$1, Y0, X1
+	VADDPS	X1, X0, X0
+	VHADDPS	X0, X0, X0
+	VHADDPS	X0, X0, X0
+
+dot_tail1:
+	TESTQ	CX, CX
+	JZ	dot_done
+	MOVSS	(SI), X1
+	MULSS	(DI), X1
+	ADDSS	X1, X0
+	ADDQ	$4, SI
+	ADDQ	$4, DI
+	DECQ	CX
+	JMP	dot_tail1
+
+dot_done:
+	VZEROUPPER
+	MOVSS	X0, ret+48(FP)
+	RET

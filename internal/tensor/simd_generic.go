@@ -1,0 +1,22 @@
+package tensor
+
+// Scalar reference kernels. axpyGeneric is bit-identical to the AVX2 path
+// (both perform one rounded multiply and one rounded add per element);
+// dotGeneric accumulates left-to-right, which the vector path does not,
+// so dot results are deterministic per build rather than per architecture.
+
+func axpyGeneric(a float32, x, y []float32) {
+	_ = y[len(x)-1]
+	for i, xv := range x {
+		y[i] += a * xv
+	}
+}
+
+func dotGeneric(x, y []float32) float32 {
+	_ = y[len(x)-1]
+	s := float32(0)
+	for i, xv := range x {
+		s += xv * y[i]
+	}
+	return s
+}

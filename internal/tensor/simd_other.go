@@ -1,0 +1,21 @@
+//go:build !amd64
+
+package tensor
+
+// Portable fallbacks for architectures without hand-written kernels.
+
+func axpy(a float32, x, y []float32) {
+	if len(x) == 0 {
+		return
+	}
+	_ = y[len(x)-1]
+	axpyGeneric(a, x, y)
+}
+
+func dot(x, y []float32) float32 {
+	if len(x) == 0 {
+		return 0
+	}
+	_ = y[len(x)-1]
+	return dotGeneric(x, y)
+}
