@@ -1,0 +1,153 @@
+// Command ttaserve runs the batched multi-stream TTA serving front-end:
+// N concurrent corruption streams are multiplexed over a small pool of
+// shared model replicas, with compatible requests coalesced into batched
+// Process calls. It reports per-stream error and latency percentiles plus
+// the group's aggregate throughput and batching statistics.
+//
+// Usage:
+//
+//	ttaserve -model WRN-AM -algo bnnorm -streams 8 -replicas 2
+//	ttaserve -algo noadapt -maxbatch 128 -linger 2ms     # coalescing path
+//	ttaserve -train                                      # robust-train first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"edgetta/internal/core"
+	"edgetta/internal/data"
+	"edgetta/internal/models"
+	"edgetta/internal/parallel"
+	"edgetta/internal/serve"
+	"edgetta/internal/train"
+)
+
+func main() {
+	modelTag := flag.String("model", "WRN-AM", "model tag (RXT-AM, WRN-AM, R18-AM-AT, MBV2)")
+	algoName := flag.String("algo", "bnnorm", "adaptation algorithm (noadapt, bnnorm, bnopt)")
+	nStreams := flag.Int("streams", 8, "concurrent corruption streams")
+	samples := flag.Int("samples", 200, "samples per stream")
+	batch := flag.Int("batch", 16, "per-stream adaptation batch size")
+	severity := flag.Int("severity", 3, "corruption severity 1..5")
+	replicas := flag.Int("replicas", 0, "model replicas (0 = auto-size from the worker pool)")
+	maxBatch := flag.Int("maxbatch", 128, "max images coalesced into one Process call (stateless algos)")
+	linger := flag.Duration("linger", 2*time.Millisecond, "max wait to gather an under-full batch")
+	queueCap := flag.Int("queuecap", 64, "pending request bound (backpressure)")
+	workers := flag.Int("workers", 0, "parallel pool width (0 = GOMAXPROCS)")
+	doTrain := flag.Bool("train", false, "robust-train the repro-scale model first (slower, meaningful error rates)")
+	flag.Parse()
+
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
+	algo, err := parseAlgo(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := models.ByTag(*modelTag, rand.New(rand.NewSource(1)), models.ReproScale)
+	if err != nil {
+		fatal(err)
+	}
+	gen := data.NewGenerator(2024)
+	if *doTrain {
+		fmt.Printf("robust-training %s (repro scale)...\n", m.Name)
+		train.Train(m, gen, train.Config{Regime: train.Robust, Epochs: 4, TrainSize: 1536, Seed: 1, Quiet: true})
+	}
+
+	srv := serve.New(serve.Config{MaxBatch: *maxBatch, MaxLinger: *linger, QueueCap: *queueCap})
+	defer srv.Close()
+	key, err := srv.AddGroup(m, algo, core.Config{}, *replicas)
+	if err != nil {
+		fatal(err)
+	}
+	stats, _ := srv.GroupStats(key)
+	fmt.Printf("serving %s: %d replicas (stateful=%v), pool width %d, maxbatch %d, linger %v\n\n",
+		key, stats.Replicas, stats.Stateful, parallel.Workers(), *maxBatch, *linger)
+
+	type streamReport struct {
+		corruption data.Corruption
+		errRate    float64
+		stats      serve.StreamStats
+	}
+	reports := make([]streamReport, *nStreams)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *nStreams; i++ {
+		st, err := srv.OpenStream(key)
+		if err != nil {
+			fatal(err)
+		}
+		c := data.AllCorruptions[i%len(data.AllCorruptions)]
+		wg.Add(1)
+		go func(i int, st *serve.Stream, c data.Corruption) {
+			defer wg.Done()
+			s := gen.NewStream(int64(100+i), *samples, c, *severity)
+			correct, seen := 0, 0
+			for {
+				x, labels, ok := s.Next(*batch)
+				if !ok {
+					break
+				}
+				logits, err := st.Process(x)
+				if err != nil {
+					fatal(err)
+				}
+				for j, p := range logits.ArgmaxRows() {
+					if p == labels[j] {
+						correct++
+					}
+				}
+				seen += len(labels)
+			}
+			r := streamReport{corruption: c, stats: st.Stats()}
+			if seen > 0 {
+				r.errRate = 1 - float64(correct)/float64(seen)
+			}
+			reports[i] = r
+		}(i, st, c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	fmt.Printf("%-3s %-18s %7s %8s %9s %9s %9s\n", "id", "corruption", "error", "batches", "p50", "p95", "p99")
+	fmt.Println(strings.Repeat("-", 70))
+	for i, r := range reports {
+		fmt.Printf("%-3d %-18s %6.1f%% %8d %9v %9v %9v\n",
+			i, r.corruption, 100*r.errRate, r.stats.Requests,
+			r.stats.E2E.P50.Round(time.Microsecond),
+			r.stats.E2E.P95.Round(time.Microsecond),
+			r.stats.E2E.P99.Round(time.Microsecond))
+	}
+
+	stats, _ = srv.GroupStats(key)
+	totalImages := *nStreams * *samples
+	fmt.Printf("\naggregate: %d images in %v = %.1f img/s\n",
+		totalImages, wall.Round(time.Millisecond), float64(totalImages)/wall.Seconds())
+	fmt.Printf("batching:  %d requests -> %d Process calls (mean %.1f img/call, max %d), peak queue %d\n",
+		stats.Requests, stats.Batches, stats.MeanCoalesced, stats.MaxCoalesced, stats.MaxQueueDepth)
+	fmt.Printf("service:   %s\n", stats.Service)
+	fmt.Printf("e2e:       %s\n", stats.E2E)
+}
+
+func parseAlgo(s string) (core.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "noadapt", "no-adapt":
+		return core.NoAdapt, nil
+	case "bnnorm", "bn-norm":
+		return core.BNNorm, nil
+	case "bnopt", "bn-opt":
+		return core.BNOpt, nil
+	}
+	return 0, fmt.Errorf("ttaserve: unknown algorithm %q (want noadapt, bnnorm or bnopt)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ttaserve:", err)
+	os.Exit(1)
+}

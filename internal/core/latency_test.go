@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyHistPercentiles(t *testing.T) {
+	var h LatencyHist
+	// 100 samples: 1ms..100ms, observed out of order.
+	for i := 100; i >= 1; i-- {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", s.P50)
+	}
+	if s.P95 != 95*time.Millisecond {
+		t.Errorf("p95 = %v, want 95ms", s.P95)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("max = %v, want 100ms", s.Max)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Errorf("mean = %v, want 50.5ms", s.Mean)
+	}
+}
+
+func TestLatencyHistEdgeCases(t *testing.T) {
+	var empty LatencyHist
+	if s := empty.Summary(); s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	var one LatencyHist
+	one.Observe(7 * time.Millisecond)
+	s := one.Summary()
+	if s.P50 != 7*time.Millisecond || s.P99 != 7*time.Millisecond || s.Max != 7*time.Millisecond {
+		t.Fatalf("single-sample summary = %+v", s)
+	}
+}
+
+func TestLatencyHistWindowBounded(t *testing.T) {
+	var h LatencyHist
+	// Overfill the window: memory must stay bounded at latencyWindow
+	// samples while Count reports the lifetime total, and the retained
+	// window must hold the most recent observations.
+	n := latencyWindow + 100
+	for i := 0; i < n; i++ {
+		h.Observe(time.Duration(i+1) * time.Microsecond)
+	}
+	if len(h.samples) != latencyWindow {
+		t.Fatalf("retained %d samples, want %d", len(h.samples), latencyWindow)
+	}
+	s := h.Summary()
+	if s.Count != n {
+		t.Fatalf("Count = %d, want %d", s.Count, n)
+	}
+	if s.Max != time.Duration(n)*time.Microsecond {
+		t.Fatalf("Max = %v, want %v", s.Max, time.Duration(n)*time.Microsecond)
+	}
+	// The oldest retained sample is n - latencyWindow + 1.
+	wantMin := time.Duration(n-latencyWindow+1) * time.Microsecond
+	min := s.Max
+	for _, d := range h.samples {
+		if d < min {
+			min = d
+		}
+	}
+	if min != wantMin {
+		t.Fatalf("oldest retained = %v, want %v", min, wantMin)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"strings"
+	"time"
 
 	"edgetta/internal/data"
 	"edgetta/internal/nn"
@@ -13,6 +14,10 @@ type StreamResult struct {
 	Correct   int
 	Batches   int
 	ErrorRate float64 // 1 − accuracy, in [0,1]
+	// Latency is the distribution of per-batch Process wall time
+	// (inference plus adaptation), reported in the same shape as the
+	// serving front-end's metrics so batch and served runs are comparable.
+	Latency LatencySummary
 }
 
 // RunStream executes the paper's online protocol: the adapter processes
@@ -22,12 +27,15 @@ type StreamResult struct {
 func RunStream(a Adapter, s *data.Stream, batchSize int) StreamResult {
 	a.Reset()
 	var res StreamResult
+	var hist LatencyHist
 	for {
 		x, labels, ok := s.Next(batchSize)
 		if !ok {
 			break
 		}
+		t0 := time.Now()
 		logits := a.Process(x)
+		hist.Observe(time.Since(t0))
 		preds := logits.ArgmaxRows()
 		for i, p := range preds {
 			if p == labels[i] {
@@ -40,6 +48,7 @@ func RunStream(a Adapter, s *data.Stream, batchSize int) StreamResult {
 	if res.Samples > 0 {
 		res.ErrorRate = 1 - float64(res.Correct)/float64(res.Samples)
 	}
+	res.Latency = hist.Summary()
 	return res
 }
 

@@ -1,0 +1,39 @@
+package device
+
+import (
+	"testing"
+
+	"edgetta/internal/core"
+	"edgetta/internal/parallel"
+	"edgetta/internal/profile"
+)
+
+// TestEstimateRecordsPoolWorkers pins the ROADMAP-item-4 groundwork: every
+// estimate (and therefore every what-if comparison built on Hypothetical)
+// records the scheduler width it was produced under.
+func TestEstimateRecordsPoolWorkers(t *testing.T) {
+	d, ok := ByTag("ultra96")
+	if !ok {
+		t.Fatal("no ultra96 device")
+	}
+	p, err := profile.Get("WRN-AM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Estimate(d, CPU, p, core.BNNorm, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PoolWorkers != parallel.Width() {
+		t.Errorf("PoolWorkers = %d, want %d", r.PoolWorkers, parallel.Width())
+	}
+
+	hy := Hypothetical(d, WithBNAccelerator(8))
+	hr, err := Estimate(hy, CPU, p, core.BNNorm, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.PoolWorkers != parallel.Width() {
+		t.Errorf("what-if PoolWorkers = %d, want %d", hr.PoolWorkers, parallel.Width())
+	}
+}

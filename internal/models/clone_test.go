@@ -1,0 +1,114 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgetta/internal/nn"
+	"edgetta/internal/tensor"
+)
+
+// mutableSlices gathers every mutable backing array of the model: parameter
+// data and gradients, plus BatchNorm statistics buffers.
+func mutableSlices(m *Model) [][]float32 {
+	var out [][]float32
+	for _, p := range m.Params() {
+		out = append(out, p.Data, p.Grad)
+	}
+	for _, bn := range m.BatchNorms() {
+		out = append(out, bn.RunningMean, bn.RunningVar)
+		if bn.SourceMean != nil {
+			out = append(out, bn.SourceMean)
+		}
+		if bn.SourceVar != nil {
+			out = append(out, bn.SourceVar)
+		}
+	}
+	return out
+}
+
+// TestCloneSharesNoBackingArrays is the replica-manager contract: a clone
+// must be structurally identical but alias none of the original's mutable
+// memory, so concurrent adaptation on clones cannot interfere.
+func TestCloneSharesNoBackingArrays(t *testing.T) {
+	builders := map[string]Builder{
+		"R18": PreActResNet18, "WRN": WideResNet402,
+		"RXT": ResNeXt29, "MBV2": MobileNetV2,
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			m := build(rand.New(rand.NewSource(7)), ReproScale)
+			// Populate SourceMean/Var on one BN so those buffers are covered.
+			m.BatchNorms()[0].SnapshotSource()
+			c := m.Clone()
+
+			orig, cl := mutableSlices(m), mutableSlices(c)
+			if len(orig) != len(cl) {
+				t.Fatalf("clone has %d mutable slices, original %d", len(cl), len(orig))
+			}
+			for i := range orig {
+				if len(orig[i]) != len(cl[i]) {
+					t.Fatalf("slice %d: length %d vs %d", i, len(orig[i]), len(cl[i]))
+				}
+				if len(orig[i]) > 0 && &orig[i][0] == &cl[i][0] {
+					t.Fatalf("slice %d aliases the original's backing array", i)
+				}
+			}
+
+			// Same weights must mean same outputs.
+			x := tensor.New(2, m.InC, m.InHW, m.InHW)
+			x.Randn(rand.New(rand.NewSource(11)), 1)
+			y0 := m.Forward(x, false)
+			y1 := c.Forward(x, false)
+			for i := range y0.Data {
+				if y0.Data[i] != y1.Data[i] {
+					t.Fatalf("clone forward diverges at %d: %v vs %v", i, y0.Data[i], y1.Data[i])
+				}
+			}
+
+			// Mutating every clone slice must leave the original untouched.
+			before := make([][]float32, len(orig))
+			for i, s := range orig {
+				before[i] = append([]float32(nil), s...)
+			}
+			for _, s := range cl {
+				for i := range s {
+					s[i] += 1
+				}
+			}
+			for i, s := range orig {
+				for j := range s {
+					if s[j] != before[i][j] {
+						t.Fatalf("mutating clone changed original slice %d[%d]", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCloneParamNamesAndStructure checks the clone exposes the same
+// parameter set in the same order — the property state snapshot/restore
+// across replicas depends on.
+func TestCloneParamNamesAndStructure(t *testing.T) {
+	m := WideResNet402(rand.New(rand.NewSource(3)), ReproScale)
+	c := m.Clone()
+	po, pc := m.Params(), c.Params()
+	if len(po) != len(pc) {
+		t.Fatalf("param count %d vs %d", len(po), len(pc))
+	}
+	for i := range po {
+		if po[i].Name != pc[i].Name {
+			t.Fatalf("param %d name %q vs %q", i, po[i].Name, pc[i].Name)
+		}
+	}
+	if len(m.BatchNorms()) != len(c.BatchNorms()) {
+		t.Fatalf("BN count differs")
+	}
+	var no, nc int
+	nn.Walk(m.Net, func(nn.Layer) { no++ })
+	nn.Walk(c.Net, func(nn.Layer) { nc++ })
+	if no != nc {
+		t.Fatalf("layer count %d vs %d", no, nc)
+	}
+}

@@ -71,6 +71,47 @@ func (a *Adam) Step() {
 	}
 }
 
+// AdamState is a deep copy of Adam's mutable state: the per-parameter
+// moment estimates and the step count. The serving layer captures and
+// restores it to multiplex many independent adaptation streams over one
+// shared optimizer-plus-model replica.
+type AdamState struct {
+	M, V [][]float32
+	T    int
+}
+
+// CaptureState deep-copies the optimizer's mutable state.
+func (a *Adam) CaptureState() *AdamState {
+	s := &AdamState{T: a.t,
+		M: make([][]float32, len(a.m)), V: make([][]float32, len(a.v))}
+	for i := range a.m {
+		s.M[i] = append([]float32(nil), a.m[i]...)
+		s.V[i] = append([]float32(nil), a.v[i]...)
+	}
+	return s
+}
+
+// RestoreState installs a previously captured state. The state must come
+// from an Adam over the same parameter shapes (e.g. a replica of the same
+// model); it panics otherwise.
+func (a *Adam) RestoreState(s *AdamState) {
+	// Validate everything before mutating anything, so a panic cannot
+	// leave the optimizer half-restored.
+	if len(s.M) != len(a.m) || len(s.V) != len(a.v) {
+		panic("opt: AdamState parameter count mismatch")
+	}
+	for i := range a.m {
+		if len(s.M[i]) != len(a.m[i]) || len(s.V[i]) != len(a.v[i]) {
+			panic("opt: AdamState moment length mismatch")
+		}
+	}
+	a.t = s.T
+	for i := range a.m {
+		copy(a.m[i], s.M[i])
+		copy(a.v[i], s.V[i])
+	}
+}
+
 // SGD implements stochastic gradient descent with classical momentum and
 // optional L2 weight decay.
 type SGD struct {

@@ -106,3 +106,54 @@ func TestAdamStateIsPerParameter(t *testing.T) {
 		t.Fatalf("per-param adaptation failed: %v", p.Data)
 	}
 }
+
+func TestAdamCaptureRestoreRoundTrip(t *testing.T) {
+	// Two streams multiplexed over one optimizer via capture/restore must
+	// evolve exactly as two private optimizers — the serving contract.
+	step := func(a *Adam, p *nn.Param, g float32) {
+		a.ZeroGrad()
+		p.Grad[0] = g
+		a.Step()
+	}
+
+	// Reference: two private (param, optimizer) pairs.
+	pA, pB := quadParam(1, 2), quadParam(1, 2)
+	oA, oB := NewAdam([]*nn.Param{pA}, 0.1), NewAdam([]*nn.Param{pB}, 0.1)
+	gradsA := []float32{1, -0.5, 2}
+	gradsB := []float32{-2, 0.25, 1}
+	for i := range gradsA {
+		step(oA, pA, gradsA[i])
+		step(oB, pB, gradsB[i])
+	}
+
+	// Shared: one optimizer, states swapped between "streams". The param
+	// value is part of each stream's state here, saved alongside.
+	p := quadParam(1, 2)
+	o := NewAdam([]*nn.Param{p}, 0.1)
+	stA, stB := o.CaptureState(), o.CaptureState()
+	valA, valB := p.Data[0], p.Data[0]
+	for i := range gradsA {
+		o.RestoreState(stA)
+		p.Data[0] = valA
+		step(o, p, gradsA[i])
+		stA, valA = o.CaptureState(), p.Data[0]
+
+		o.RestoreState(stB)
+		p.Data[0] = valB
+		step(o, p, gradsB[i])
+		stB, valB = o.CaptureState(), p.Data[0]
+	}
+	if valA != pA.Data[0] || valB != pB.Data[0] {
+		t.Fatalf("multiplexed Adam diverged: stream A %v vs %v, stream B %v vs %v",
+			valA, pA.Data[0], valB, pB.Data[0])
+	}
+
+	// Captured state must be a deep copy: stepping after capture must not
+	// mutate the snapshot.
+	snap := o.CaptureState()
+	m0 := snap.M[0][0]
+	step(o, p, 3)
+	if snap.M[0][0] != m0 {
+		t.Fatalf("CaptureState aliases live moments")
+	}
+}

@@ -143,7 +143,25 @@ func getSlow() *pool {
 
 // Workers returns the scheduler's parallelism width: the number of worker
 // goroutines loop bodies may execute on (1 means loops run inline).
+// Calling it starts the pool if it is not running yet.
 func Workers() int { return get().size }
+
+// Width reports the pool's parallelism width without starting it: the
+// running pool's size, or the size the pool would get on first use.
+// Purely analytical callers (e.g. device estimates recording the width
+// they were produced under) use this to avoid spawning workers they will
+// never schedule on.
+func Width() int {
+	if p := cur.Load(); p != nil {
+		return p.size
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if override != 0 {
+		return override
+	}
+	return defaultWorkers()
+}
 
 // SetWorkers resizes the pool to exactly n workers (n <= 0 restores
 // auto-sizing). It exists for tests and for device-simulation fidelity —

@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"edgetta/internal/core"
+	"edgetta/internal/tensor"
+)
+
+// replica is one shared model instance: a deep clone of the group's model
+// wrapped in its adapter. A replica processes one batch at a time; its
+// owning worker goroutine is the only one that touches the adapter.
+type replica struct {
+	id      int
+	adapter core.Adapter
+	// concat is the replica's reusable coalescing buffer. Reuse is safe:
+	// only stateless adapters coalesce, their Process never reads the
+	// input again after returning, and the next coalesced call fully
+	// overwrites the prefix it uses.
+	concat []float32
+}
+
+// streamState is the server-side record of one open stream.
+type streamState struct {
+	id int
+	// state is the stream's adaptation state between requests (stateful
+	// groups only). It is accessed only by the worker currently holding
+	// the stream's single in-flight request, or — between requests — under
+	// the group mutex via the inflight gate, so it needs no lock of its own.
+	state core.AdapterState
+	// inflight marks that a worker is processing a request of this stream
+	// (stateful groups serialize per-stream requests through it).
+	inflight bool
+	closed   bool
+
+	// per-stream metrics, guarded by the group mutex.
+	requests int
+	images   int
+	e2e      core.LatencyHist
+}
+
+// request is one pending Submit.
+type request struct {
+	st   *streamState
+	x    *tensor.Tensor
+	n    int // images
+	enq  time.Time
+	resp chan Response
+}
+
+// Response delivers one request's results.
+type Response struct {
+	// Logits holds one row of class scores per submitted image.
+	Logits *tensor.Tensor
+	Err    error
+	// QueueWait is the time from Submit to Process start; Service is the
+	// Process call's duration (shared by every request coalesced into it).
+	QueueWait time.Duration
+	Service   time.Duration
+	// BatchImages is the total image count of the Process call this
+	// request was served by (> the request's own count when coalesced).
+	BatchImages int
+}
+
+// group is one replica pool plus its pending queue and metrics.
+type group struct {
+	key      GroupKey
+	cfg      Config
+	stateful bool
+	initial  core.AdapterState
+	replicas []*replica
+
+	inC, inHW, classes int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// pending is the FIFO request queue; pendingImages tracks its image
+	// total for the coalescing policy and queueMax for the stats.
+	pending       []*request
+	pendingImages int
+	queueMax      int
+	timerArmed    bool
+	closed        bool
+	nextStreamID  int
+	streams       map[int]*streamState
+
+	// aggregate metrics.
+	batches      int // Process calls
+	requests     int
+	images       int
+	maxCoalesced int
+	batchHist    *core.LatencyHist // service time per Process call
+	e2eHist      *core.LatencyHist // submit-to-response time per request
+}
+
+func (g *group) openStream() *Stream {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := &streamState{id: g.nextStreamID}
+	g.nextStreamID++
+	if g.stateful {
+		st.state = g.initial
+	}
+	g.streams[st.id] = st
+	return &Stream{g: g, st: st}
+}
+
+func (g *group) close() {
+	g.mu.Lock()
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// submit enqueues a request, blocking while the queue is full. The
+// returned channel is buffered, so workers never block delivering.
+func (g *group) submit(st *streamState, x *tensor.Tensor) <-chan Response {
+	resp := make(chan Response, 1)
+	fail := func(err error) <-chan Response {
+		resp <- Response{Err: err}
+		return resp
+	}
+	if x == nil || x.NDim() != 4 {
+		return fail(fmt.Errorf("serve: %s: batch must be NCHW, got %v", g.key, shapeOf(x)))
+	}
+	if x.Dim(1) != g.inC || x.Dim(2) != g.inHW || x.Dim(3) != g.inHW {
+		return fail(fmt.Errorf("serve: %s: batch shape %v does not match model input %dx%dx%d",
+			g.key, x.Shape(), g.inC, g.inHW, g.inHW))
+	}
+	req := &request{st: st, x: x, n: x.Dim(0), enq: time.Now(), resp: resp}
+
+	g.mu.Lock()
+	for len(g.pending) >= g.cfg.QueueCap && !g.closed && !st.closed {
+		g.cond.Wait()
+	}
+	if g.closed || st.closed {
+		g.mu.Unlock()
+		if st.closed {
+			return fail(ErrStreamClosed)
+		}
+		return fail(ErrClosed)
+	}
+	g.pending = append(g.pending, req)
+	g.pendingImages += req.n
+	if len(g.pending) > g.queueMax {
+		g.queueMax = len(g.pending)
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	return resp
+}
+
+func shapeOf(x *tensor.Tensor) []int {
+	if x == nil {
+		return nil
+	}
+	return x.Shape()
+}
+
+// serveLoop is one replica worker: take a dispatchable batch, run it,
+// repeat until the group is closed and drained.
+func (g *group) serveLoop(r *replica) {
+	for {
+		reqs := g.take()
+		if reqs == nil {
+			return
+		}
+		g.run(r, reqs)
+	}
+}
+
+// take blocks until it can dispatch work, honoring the batching policy.
+// It returns nil when the group is closed and the queue drained.
+func (g *group) take() []*request {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if len(g.pending) == 0 {
+			if g.closed {
+				return nil
+			}
+			g.cond.Wait()
+			continue
+		}
+		if g.stateful {
+			// Dispatch the oldest request whose stream has nothing in
+			// flight; per-stream order is the adaptation protocol's order.
+			for i, req := range g.pending {
+				if !req.st.inflight {
+					req.st.inflight = true
+					g.pending = append(g.pending[:i], g.pending[i+1:]...)
+					g.pendingImages -= req.n
+					g.cond.Broadcast() // queue space freed
+					return []*request{req}
+				}
+			}
+			// Every pending stream is busy on another replica.
+			g.cond.Wait()
+			continue
+		}
+		// Stateless: coalesce. Fire when the batch is full, when lingering
+		// is disabled or expired, or when draining at close.
+		if g.pendingImages < g.cfg.MaxBatch && g.cfg.MaxLinger > 0 && !g.closed {
+			wait := time.Until(g.pending[0].enq.Add(g.cfg.MaxLinger))
+			if wait > 0 {
+				if !g.timerArmed {
+					g.timerArmed = true
+					time.AfterFunc(wait, func() {
+						g.mu.Lock()
+						g.timerArmed = false
+						g.cond.Broadcast()
+						g.mu.Unlock()
+					})
+				}
+				g.cond.Wait()
+				continue
+			}
+		}
+		var batch []*request
+		taken := 0
+		for len(g.pending) > 0 {
+			req := g.pending[0]
+			if len(batch) > 0 && taken+req.n > g.cfg.MaxBatch {
+				break
+			}
+			batch = append(batch, req)
+			taken += req.n
+			g.pending = g.pending[1:]
+			if taken >= g.cfg.MaxBatch {
+				break
+			}
+		}
+		g.pendingImages -= taken
+		g.cond.Broadcast() // queue space freed
+		return batch
+	}
+}
+
+// run executes one dispatch on the replica and delivers the responses.
+func (g *group) run(r *replica, reqs []*request) {
+	start := time.Now()
+	n := 0
+	for _, req := range reqs {
+		n += req.n
+	}
+
+	// Build the Process input: a single request passes through unchanged,
+	// a coalesced batch concatenates the requests' images in queue order
+	// into the replica's reusable buffer.
+	var x *tensor.Tensor
+	if len(reqs) == 1 {
+		x = reqs[0].x
+	} else {
+		need := n * g.inC * g.inHW * g.inHW
+		if cap(r.concat) < need {
+			r.concat = make([]float32, need)
+		}
+		buf := r.concat[:need]
+		off := 0
+		for _, req := range reqs {
+			off += copy(buf[off:], req.x.Data)
+		}
+		x = tensor.FromSlice(buf, n, g.inC, g.inHW, g.inHW)
+	}
+
+	var logits *tensor.Tensor
+	if g.stateful {
+		st := reqs[0].st
+		sa := r.adapter.(core.Stateful)
+		sa.RestoreState(st.state)
+		logits = r.adapter.Process(x)
+		st.state = sa.CaptureState()
+	} else {
+		logits = r.adapter.Process(x)
+	}
+	service := time.Since(start)
+
+	// Update metrics (and release the stream's in-flight slot) before
+	// delivering responses, so a client that calls Stats right after
+	// receiving its response always sees its own request counted.
+	done := time.Now()
+	g.mu.Lock()
+	g.batches++
+	g.requests += len(reqs)
+	g.images += n
+	if n > g.maxCoalesced {
+		g.maxCoalesced = n
+	}
+	g.batchHist.Observe(service)
+	for _, req := range reqs {
+		e2e := done.Sub(req.enq)
+		g.e2eHist.Observe(e2e)
+		req.st.requests++
+		req.st.images += req.n
+		req.st.e2e.Observe(e2e)
+	}
+	if g.stateful {
+		// The stream's state is already captured, so its next request may
+		// dispatch (even to another replica) before these responses land.
+		reqs[0].st.inflight = false
+	}
+	g.cond.Broadcast() // the stream's next request became dispatchable
+	g.mu.Unlock()
+
+	// Split the output rows back to per-request responses in queue order.
+	// The views share the Process call's freshly allocated logits tensor
+	// over disjoint row ranges, so no copying is needed; the channels are
+	// buffered, so delivery never blocks the worker.
+	classes := logits.Dim(1)
+	row := 0
+	for _, req := range reqs {
+		out := logits
+		if len(reqs) > 1 {
+			out = tensor.FromSlice(logits.Data[row*classes:(row+req.n)*classes], req.n, classes)
+		}
+		row += req.n
+		req.resp <- Response{
+			Logits:      out,
+			QueueWait:   start.Sub(req.enq),
+			Service:     service,
+			BatchImages: n,
+		}
+	}
+}
+
+// GroupStats is a group's aggregate serving metrics.
+type GroupStats struct {
+	Key      GroupKey
+	Replicas int
+	Stateful bool
+	// Batches counts adapter Process calls; Requests and Images count the
+	// submissions they served. MeanCoalesced = Images/Batches is the
+	// effective batching factor.
+	Batches, Requests, Images int
+	MaxCoalesced              int
+	MeanCoalesced             float64
+	// MaxQueueDepth is the peak pending-queue length (bounded by QueueCap).
+	MaxQueueDepth int
+	// Service is per-Process wall time; E2E is per-request submit-to-
+	// response time (queue wait + service).
+	Service, E2E core.LatencySummary
+}
+
+func (g *group) stats() GroupStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := GroupStats{
+		Key:           g.key,
+		Replicas:      len(g.replicas),
+		Stateful:      g.stateful,
+		Batches:       g.batches,
+		Requests:      g.requests,
+		Images:        g.images,
+		MaxCoalesced:  g.maxCoalesced,
+		MaxQueueDepth: g.queueMax,
+		Service:       g.batchHist.Summary(),
+		E2E:           g.e2eHist.Summary(),
+	}
+	if s.Batches > 0 {
+		s.MeanCoalesced = float64(s.Images) / float64(s.Batches)
+	}
+	return s
+}

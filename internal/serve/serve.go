@@ -1,0 +1,235 @@
+// Package serve is the batched multi-stream serving front-end: it
+// multiplexes many concurrent test-time-adaptation streams over a small
+// pool of shared model replicas, turning the repository's one-adapter-per-
+// stream benchmark harness into the production shape the ROADMAP targets.
+//
+// # Replica groups
+//
+// Requests are compatible only when they target the same algorithm on the
+// same model architecture, so the server routes by GroupKey
+// (algorithm, model tag). Each group owns a replica pool: deep clones of
+// the group's model (models.Model.Clone), each wrapped in its own adapter.
+// Replicas never share mutable memory, so Process calls on different
+// replicas run concurrently without interference.
+//
+// # Stateless vs. stateful serving
+//
+// No-Adapt inference is stateless and per-image independent (per-image
+// convolution lowering, fixed-order matmul accumulation, per-channel
+// eval-mode BatchNorm), so pending requests from any mix of streams are
+// coalesced into one batched tensor — up to MaxBatch images, after at most
+// MaxLinger of gathering — processed by a single adapter Process call, and
+// the output rows are split back to the per-stream responses in request
+// order. The coalesced outputs are byte-identical to per-stream runs.
+//
+// BN-Norm and BN-Opt mutate per-stream state (BatchNorm statistics, affine
+// parameters, Adam moments), and their batch-statistics BN couples every
+// image in a Process call, so cross-stream coalescing would change results.
+// Those groups instead serve with stream affinity plus state swapping: each
+// stream owns an AdapterState (kilobytes), and a replica restores the
+// stream's state, processes the stream's batch alone, and captures the
+// updated state. Requests of one stream are strictly serialized (a stream's
+// next request is dispatched only after its previous one completes), which
+// preserves the online protocol's order; different streams proceed in
+// parallel across replicas. Outputs are byte-identical to serial
+// per-stream runs — the package's determinism contract, pinned by tests.
+//
+// # Scheduling
+//
+// Replica workers call into the model kernels, which parallelize on
+// internal/parallel's shared pool; the pool's nested-oversubscription
+// guard makes kernel loops issued from busy replicas degrade to inline
+// execution, so batch-level concurrency and kernel-level parallelism share
+// the same CPU budget instead of multiplying. Backpressure is a bounded
+// per-group pending queue: Submit blocks while the queue is full.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"edgetta/internal/core"
+	"edgetta/internal/models"
+	"edgetta/internal/parallel"
+)
+
+// Errors reported through Response.Err or returned by Server methods.
+var (
+	ErrClosed       = errors.New("serve: server closed")
+	ErrStreamClosed = errors.New("serve: stream closed")
+)
+
+// GroupKey identifies a replica group. Requests may share replicas — and,
+// for stateless algorithms, Process calls — only within one group.
+type GroupKey struct {
+	Algo     core.Algorithm
+	ModelTag string
+}
+
+// String formats the key the way the CLI and logs print it.
+func (k GroupKey) String() string { return fmt.Sprintf("%s/%s", k.ModelTag, k.Algo) }
+
+// Config tunes the server's batching and backpressure policy. The zero
+// value gets sensible defaults from withDefaults.
+type Config struct {
+	// MaxBatch caps the images coalesced into one Process call of a
+	// stateless group (stateful groups never coalesce across requests).
+	// Default 128.
+	MaxBatch int
+	// MaxLinger is how long an under-full stateless batch waits for more
+	// compatible requests before firing anyway. 0 fires as soon as a
+	// worker is free, taking whatever is pending.
+	MaxLinger time.Duration
+	// QueueCap bounds each group's pending request queue; Submit blocks
+	// while the queue is full (backpressure). Default 64.
+	QueueCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 128
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	return c
+}
+
+// Server multiplexes adaptation streams over replica groups.
+type Server struct {
+	cfg Config
+
+	mu     sync.Mutex
+	groups map[GroupKey]*group
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New constructs an empty server; add replica groups with AddGroup.
+func New(cfg Config) *Server {
+	return &Server{cfg: cfg.withDefaults(), groups: make(map[GroupKey]*group)}
+}
+
+// AddGroup registers a replica group serving algo over m with acfg. The
+// model is deep-cloned once per replica, so the caller's model is never
+// mutated. replicas <= 0 defaults to half the parallel pool width (at
+// least 1): replicas trade per-call kernel parallelism for batch-level
+// concurrency, and beyond the pool width extra replicas only add memory.
+func (s *Server) AddGroup(m *models.Model, algo core.Algorithm, acfg core.Config, replicas int) (GroupKey, error) {
+	key := GroupKey{Algo: algo, ModelTag: m.Tag}
+	if replicas <= 0 {
+		replicas = parallel.Workers() / 2
+		if replicas < 1 {
+			replicas = 1
+		}
+	}
+
+	// Fail fast before paying for replica clones; the insert below
+	// re-checks under the same lock in case of a concurrent AddGroup.
+	s.mu.Lock()
+	closed := s.closed
+	_, dup := s.groups[key]
+	s.mu.Unlock()
+	if closed {
+		return GroupKey{}, ErrClosed
+	}
+	if dup {
+		return GroupKey{}, fmt.Errorf("serve: group %s already registered", key)
+	}
+
+	g := &group{
+		key:       key,
+		cfg:       s.cfg,
+		inC:       m.InC,
+		inHW:      m.InHW,
+		classes:   m.Classes,
+		streams:   make(map[int]*streamState),
+		batchHist: &core.LatencyHist{},
+		e2eHist:   &core.LatencyHist{},
+	}
+	g.cond = sync.NewCond(&g.mu)
+	for i := 0; i < replicas; i++ {
+		a, err := core.New(algo, m.Clone(), acfg)
+		if err != nil {
+			return GroupKey{}, err
+		}
+		g.replicas = append(g.replicas, &replica{id: i, adapter: a})
+	}
+	if st, ok := g.replicas[0].adapter.(core.Stateful); ok {
+		g.stateful = true
+		// The episode-start state every new stream begins from. All
+		// replicas are byte-identical clones, so replica 0's fresh state
+		// restores cleanly onto any of them.
+		g.initial = st.CaptureState()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return GroupKey{}, ErrClosed
+	}
+	if _, dup := s.groups[key]; dup {
+		return GroupKey{}, fmt.Errorf("serve: group %s already registered", key)
+	}
+	s.groups[key] = g
+	for _, r := range g.replicas {
+		s.wg.Add(1)
+		go func(r *replica) {
+			defer s.wg.Done()
+			g.serveLoop(r)
+		}(r)
+	}
+	return key, nil
+}
+
+// OpenStream starts a new independent adaptation episode in the group.
+// For stateful groups the stream begins from the episode-start state, as
+// if it had a freshly Reset private adapter.
+func (s *Server) OpenStream(key GroupKey) (*Stream, error) {
+	s.mu.Lock()
+	g, ok := s.groups[key]
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !ok {
+		return nil, fmt.Errorf("serve: no group %s", key)
+	}
+	return g.openStream(), nil
+}
+
+// Close drains the server: requests already submitted are served, new
+// submissions fail with ErrClosed, and Close returns once every replica
+// worker has exited.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	groups := make([]*group, 0, len(s.groups))
+	for _, g := range s.groups {
+		groups = append(groups, g)
+	}
+	s.mu.Unlock()
+	for _, g := range groups {
+		g.close()
+	}
+	s.wg.Wait()
+}
+
+// GroupStats reports a group's aggregate serving metrics.
+func (s *Server) GroupStats(key GroupKey) (GroupStats, error) {
+	s.mu.Lock()
+	g, ok := s.groups[key]
+	s.mu.Unlock()
+	if !ok {
+		return GroupStats{}, fmt.Errorf("serve: no group %s", key)
+	}
+	return g.stats(), nil
+}

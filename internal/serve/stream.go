@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"edgetta/internal/core"
+	"edgetta/internal/tensor"
+)
+
+// Stream is a client handle to one adaptation episode. A stream behaves
+// exactly like a private adapter fed batch by batch: for stateful
+// algorithms its requests are served in submission order with its own
+// adaptation state, no matter which replica runs them.
+type Stream struct {
+	g  *group
+	st *streamState
+}
+
+// ID returns the stream's identifier within its group.
+func (s *Stream) ID() int { return s.st.id }
+
+// Submit enqueues one batch and returns immediately; the response arrives
+// on the returned buffered channel. Submit blocks only for backpressure
+// (the group's pending queue is full). A stream may pipeline submissions:
+// stateful groups still process them one at a time in order.
+func (s *Stream) Submit(x *tensor.Tensor) <-chan Response {
+	return s.g.submit(s.st, x)
+}
+
+// Process is the synchronous form of Submit: it returns the logits for
+// the batch, one row per image.
+func (s *Stream) Process(x *tensor.Tensor) (*tensor.Tensor, error) {
+	r := <-s.Submit(x)
+	return r.Logits, r.Err
+}
+
+// Stats reports the stream's serving metrics so far.
+func (s *Stream) Stats() StreamStats {
+	s.g.mu.Lock()
+	defer s.g.mu.Unlock()
+	return StreamStats{
+		Requests: s.st.requests,
+		Images:   s.st.images,
+		E2E:      s.st.e2e.Summary(),
+	}
+}
+
+// Close ends the episode: later Submits fail with ErrStreamClosed and the
+// stream's adaptation state is released. Requests already submitted are
+// still served.
+func (s *Stream) Close() {
+	s.g.mu.Lock()
+	s.st.closed = true
+	delete(s.g.streams, s.st.id)
+	s.g.cond.Broadcast()
+	s.g.mu.Unlock()
+}
+
+// StreamStats summarizes one stream's served requests.
+type StreamStats struct {
+	Requests int
+	Images   int
+	// E2E is the submit-to-response latency distribution.
+	E2E core.LatencySummary
+}
