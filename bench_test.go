@@ -136,10 +136,49 @@ func BenchmarkFullScaleWRNForward(b *testing.B) {
 	}
 }
 
-func BenchmarkConv3x3Forward(b *testing.B) {
+func benchConv3x3(b *testing.B) {
+	b.Helper()
 	rng := rand.New(rand.NewSource(1))
 	conv := nn.NewConv2d("c", rng, 32, 32, 3, 1, 1, 1)
 	x := tensor.New(8, 32, 32, 32)
+	x.Randn(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, false)
+	}
+}
+
+// BenchmarkConv3x3Forward measures the default dispatch (the packed
+// NC8HW8 direct path for this stride-1 ungrouped shape).
+func BenchmarkConv3x3Forward(b *testing.B) { benchConv3x3(b) }
+
+// BenchmarkConv3x3ForwardIm2Col forces the im2col + matmul path the
+// packed kernel replaced, so the dispatch win stays measurable.
+func BenchmarkConv3x3ForwardIm2Col(b *testing.B) {
+	was := tensor.PackedEnabled()
+	tensor.SetPacked(false)
+	defer tensor.SetPacked(was)
+	benchConv3x3(b)
+}
+
+// BenchmarkConv3x3ForwardFMA measures the opt-in fused kernel (skipped
+// where the build or CPU has none).
+func BenchmarkConv3x3ForwardFMA(b *testing.B) {
+	if !tensor.FMASupported() {
+		b.Skip("no FMA kernel in this build")
+	}
+	was := tensor.FMAEnabled()
+	tensor.SetFMA(true)
+	defer tensor.SetFMA(was)
+	benchConv3x3(b)
+}
+
+// BenchmarkConv1x1Forward covers the pointwise convs (shortcuts,
+// MobileNet expand/project), the other shape the packed path serves.
+func BenchmarkConv1x1Forward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	conv := nn.NewConv2d("c", rng, 64, 64, 1, 1, 0, 1)
+	x := tensor.New(8, 64, 16, 16)
 	x.Randn(rng, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

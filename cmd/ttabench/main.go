@@ -6,26 +6,36 @@
 //	ttabench -figure fig2        # one artifact (fig2..fig12, table1)
 //	ttabench -figure all         # everything
 //	ttabench -anchors            # calibration anchors vs simulated values
+//	ttabench -kernels            # kernel dispatch report (packed/FMA/AVX2)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 
 	"edgetta/internal/core"
 	"edgetta/internal/device"
+	"edgetta/internal/models"
+	"edgetta/internal/nn"
 	"edgetta/internal/profile"
 	"edgetta/internal/study"
+	"edgetta/internal/tensor"
 )
 
 func main() {
 	figure := flag.String("figure", "all", "figure/table id (fig2..fig12, table1) or 'all'")
 	anchors := flag.Bool("anchors", false, "print paper anchors vs simulated values")
 	insights := flag.Bool("insights", false, "print the recomputed Sec. IV-G architecture-algorithm insights")
+	kernels := flag.Bool("kernels", false, "print kernel dispatch configuration and per-model conv coverage")
 	flag.Parse()
 
+	if *kernels {
+		printKernels()
+		return
+	}
 	if *anchors {
 		if err := printAnchors(); err != nil {
 			fmt.Fprintln(os.Stderr, "ttabench:", err)
@@ -54,6 +64,41 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(out)
+	}
+}
+
+// printKernels reports which convolution path each model's layers will
+// dispatch to, plus the process-wide kernel switches — the ground truth
+// for interpreting benchmark numbers on this host.
+func printKernels() {
+	fmt.Printf("packed direct conv: enabled=%v (EDGETTA_PACKED=0 disables)\n", tensor.PackedEnabled())
+	fmt.Printf("FMA kernels:        supported=%v enabled=%v (opt-in: EDGETTA_FMA=1; breaks bit-parity with the scalar path)\n",
+		tensor.FMASupported(), tensor.FMAEnabled())
+	fmt.Println()
+	fmt.Printf("%-10s %12s %14s %22s\n", "model", "packed convs", "im2col convs", "packed conv-MAC share")
+	for _, b := range append(models.Registry(), models.MobileNetV2) {
+		m := b(rand.New(rand.NewSource(1)), models.Full)
+		packed, fallback := 0, 0
+		var packedMACs, totalMACs int64
+		profile.Capture(m) // populate per-layer specs with a real forward
+		nn.Walk(m.Net, func(l nn.Layer) {
+			c, ok := l.(*nn.Conv2d)
+			if !ok {
+				return
+			}
+			if c.PackedEligible() {
+				packed++
+				packedMACs += c.Spec().MACs
+			} else {
+				fallback++
+			}
+			totalMACs += c.Spec().MACs
+		})
+		share := 0.0
+		if totalMACs > 0 {
+			share = 100 * float64(packedMACs) / float64(totalMACs)
+		}
+		fmt.Printf("%-10s %12d %14d %21.1f%%\n", m.Tag, packed, fallback, share)
 	}
 }
 

@@ -71,6 +71,7 @@ func PruneMagnitude(m *models.Model, frac float64) (PruneReport, error) {
 				rep.ZeroedW++
 			}
 		}
+		p.MarkUpdated()
 	}
 	rep.Sparsity = float64(rep.ZeroedW) / float64(rep.TotalW)
 	return rep, nil
@@ -114,6 +115,7 @@ func QuantizeWeights(m *models.Model, bits int) (QuantReport, error) {
 			}
 			p.Data[i] = float32(q)
 		}
+		p.MarkUpdated()
 	}
 	return rep, nil
 }

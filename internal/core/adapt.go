@@ -127,6 +127,12 @@ func (s *bnSnapshot) restore(bns []*nn.BatchNorm2d) {
 		copy(bn.Beta.Data, s.beta[i])
 		copy(bn.RunningMean, s.rmean[i])
 		copy(bn.RunningVar, s.rvar[i])
+		// Per the Param contract, in-place Data writes must bump the
+		// version so any cache keyed on it is dropped (today only conv
+		// weights carry such a cache, but serve's per-stream restore
+		// must not be the path that breaks a future BN-keyed one).
+		bn.Gamma.MarkUpdated()
+		bn.Beta.MarkUpdated()
 		bn.UseBatchStats = s.useBatchWas[i]
 	}
 }

@@ -112,3 +112,59 @@ func TestCloneParamNamesAndStructure(t *testing.T) {
 		t.Fatalf("layer count %d vs %d", no, nc)
 	}
 }
+
+// TestClonePackedWeightCacheSharedUntilUpdate: replicas of an unadapted
+// model must serve from one shared packed-weight buffer per conv (the
+// cache is immutable and keyed on the Param version), and a weight update
+// on one side must repack locally without corrupting the other — clone
+// outputs stay bit-identical to the original's until then.
+func TestClonePackedWeightCacheSharedUntilUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	m := WideResNet402(rng, ReproScale)
+	x := tensor.New(2, m.InC, m.InHW, m.InHW)
+	x.Uniform(rand.New(rand.NewSource(72)), 0, 1)
+	m.Forward(x, false) // warm the packed caches
+	c := m.Clone()
+
+	y0 := m.Forward(x, false)
+	y1 := c.Forward(x, false)
+	for i := range y0.Data {
+		if y0.Data[i] != y1.Data[i] {
+			t.Fatalf("clone forward differs at %d before any update", i)
+		}
+	}
+
+	// Scale one conv weight on the clone (with MarkUpdated, per the Param
+	// contract). The clone must diverge; the original must not move.
+	var conv *nn.Conv2d
+	nn.Walk(c.Net, func(l nn.Layer) {
+		if cv, ok := l.(*nn.Conv2d); ok && conv == nil && cv.PackedEligible() {
+			conv = cv
+		}
+	})
+	if conv == nil {
+		t.Fatal("no packed-eligible conv found")
+	}
+	for i := range conv.Weight.Data {
+		conv.Weight.Data[i] *= 2
+	}
+	conv.Weight.MarkUpdated()
+
+	y0b := m.Forward(x, false)
+	y1b := c.Forward(x, false)
+	for i := range y0.Data {
+		if y0b.Data[i] != y0.Data[i] {
+			t.Fatalf("original forward moved at %d after clone-side update", i)
+		}
+	}
+	same := true
+	for i := range y1b.Data {
+		if y1b.Data[i] != y1.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("clone forward unchanged despite weight update (stale shared cache)")
+	}
+}

@@ -22,12 +22,15 @@ func Clone(l Layer) Layer {
 	return c.CloneLayer()
 }
 
-// clone returns a Param with copied data and a fresh zero gradient.
+// clone returns a Param with copied data and a fresh zero gradient. The
+// mutation version is preserved so caches keyed on it (packed conv
+// weights) stay valid for the clone.
 func (p *Param) clone() *Param {
 	return &Param{
-		Name: p.Name,
-		Data: append([]float32(nil), p.Data...),
-		Grad: make([]float32, len(p.Grad)),
+		Name:    p.Name,
+		Data:    append([]float32(nil), p.Data...),
+		Grad:    make([]float32, len(p.Grad)),
+		version: p.version,
 	}
 }
 
@@ -67,11 +70,15 @@ func (f *Flatten) CloneLayer() Layer { return &Flatten{name: f.name} }
 // is never touched. None of the study's models include Dropout.
 func (d *Dropout) CloneLayer() Layer { return &Dropout{name: d.name, P: d.P, rng: d.rng} }
 
-// CloneLayer implements Cloner.
+// CloneLayer implements Cloner. The immutable packed-weight cache is
+// shared with the clone (its version still matches the cloned Param), so
+// serving replicas of an unadapted model pay for one packed copy instead
+// of one per replica; the first weight update on either side repacks
+// locally without affecting the other.
 func (c *Conv2d) CloneLayer() Layer {
 	return &Conv2d{name: c.name, InC: c.InC, OutC: c.OutC,
 		K: c.K, Stride: c.Stride, Pad: c.Pad, Groups: c.Groups,
-		Weight: c.Weight.clone()}
+		Weight: c.Weight.clone(), packed: c.packed}
 }
 
 // CloneLayer implements Cloner. All statistics buffers — running, source —

@@ -3,6 +3,8 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"edgetta/internal/parallel"
 	"edgetta/internal/tensor"
@@ -14,11 +16,27 @@ import (
 // depend on the machine.
 const bwGroups = 16
 
+// bwStripRows is the lowering strip height of the backward pass: instead
+// of materializing the full [C*K*K, Hout*Wout] im2col matrix (and a
+// second one for the input-gradient columns), Backward streams this many
+// rows at a time through an L2-resident buffer. The strip kernels are the
+// same matmul/col2im kernels applied to row slices, so results are
+// bit-identical to the full materialization for every strip size.
+const bwStripRows = 32
+
 // Conv2d is a 2-D convolution over NCHW tensors with square kernels,
 // symmetric padding, and optional grouping (grouped convolution is what
 // gives ResNeXt its cardinality and MobileNetV2 its depthwise stage).
 // Bias is omitted: every convolution in the paper's models feeds a
 // BatchNorm, which subsumes it.
+//
+// Forward dispatch: stride-1 ungrouped convolutions (nearly all of the
+// WRN workload) run on the packed NC8HW8 direct path — no im2col matrix
+// is materialized, and the packed weights are cached across calls and
+// shared with clones until the weights change. Other shapes fall back to
+// the im2col + matmul path. The default packed path is bit-identical to
+// the im2col path (see tensor/conv_direct.go); the opt-in FMA variant
+// (tensor.SetFMA / EDGETTA_FMA=1) trades that parity for speed.
 type Conv2d struct {
 	name           string
 	InC, OutC      int
@@ -29,6 +47,14 @@ type Conv2d struct {
 	input                *tensor.Tensor
 	lastSpec             Spec
 	outH, outW, inH, inW int
+
+	// Packed-path caches: packed is the weight tensor in kernel order,
+	// valid while packedVersion matches Weight.Version() (clones share it
+	// until either side's weights change); xoff is the offset table for
+	// the last-seen input geometry.
+	packed       *tensor.PackedWeights
+	xoff         []int32
+	xoffH, xoffW int
 }
 
 // NewConv2d constructs a convolution layer with He-normal initialization.
@@ -53,9 +79,26 @@ func (c *Conv2d) Params() []*Param { return []*Param{c.Weight} }
 // Spec implements Layer.
 func (c *Conv2d) Spec() Spec { return c.lastSpec }
 
-// Forward implements Layer. The batch dimension is processed in parallel;
-// each image is lowered with im2col and multiplied against the weight
-// matrix one group at a time.
+// PackedEligible reports whether this layer's shape is served by the
+// packed direct-convolution path: stride-1 and ungrouped. Grouped or
+// strided convolutions fall back to im2col + matmul.
+func (c *Conv2d) PackedEligible() bool { return c.Groups == 1 && c.Stride == 1 }
+
+// packedWeights returns the cached packed weight tensor, repacking if the
+// underlying Param has been mutated since (Param.MarkUpdated bumps the
+// version). The returned buffer is immutable; clones of an unadapted
+// layer share one copy.
+func (c *Conv2d) packedWeights() *tensor.PackedWeights {
+	if p := c.packed; p != nil && p.Version == c.Weight.Version() {
+		return p
+	}
+	p := tensor.PackConvWeights(c.Weight.Data, c.OutC, c.InC, c.K)
+	p.Version = c.Weight.Version()
+	c.packed = p
+	return p
+}
+
+// Forward implements Layer. The batch dimension is processed in parallel.
 func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.NDim() != 4 || x.Dim(1) != c.InC {
 		panic(shapeErr(c.name, x.Shape()))
@@ -66,27 +109,15 @@ func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	outW := (w+2*c.Pad-c.K)/c.Stride + 1
 	c.input, c.inH, c.inW, c.outH, c.outW = x, h, w, outH, outW
 
-	inCg, outCg := c.InC/c.Groups, c.OutC/c.Groups
-	rows := inCg * c.K * c.K
+	rows := (c.InC / c.Groups) * c.K * c.K
 	cols := outH * outW
 	y := tensor.New(n, c.OutC, outH, outW)
 
-	// Grain 1: each image is heavy (an im2col plus a matmul per group), so
-	// even a micro-batch of 2 should use 2 workers. The inner matmul calls
-	// degrade to inline execution while the pool is busy with this loop.
-	parallel.ForGrain(n, 1, func(lo, hi int) {
-		buf := tensor.GetScratch(rows * cols)
-		defer tensor.PutScratch(buf)
-		for img := lo; img < hi; img++ {
-			xImg := x.Data[img*c.InC*h*w : (img+1)*c.InC*h*w]
-			yImg := y.Data[img*c.OutC*cols : (img+1)*c.OutC*cols]
-			for g := 0; g < c.Groups; g++ {
-				tensor.Im2Col(buf, xImg[g*inCg*h*w:(g+1)*inCg*h*w], inCg, h, w, c.K, c.Stride, c.Pad)
-				wg := c.Weight.Data[g*outCg*rows : (g+1)*outCg*rows]
-				tensor.MatMulInto(yImg[g*outCg*cols:(g+1)*outCg*cols], wg, buf, outCg, rows, cols, false)
-			}
-		}
-	})
+	if tensor.PackedEnabled() && c.PackedEligible() {
+		c.forwardPacked(x, y, n, h, w, outH, outW)
+	} else {
+		c.forwardIm2Col(x, y, n, h, w, outH, outW)
+	}
 
 	c.lastSpec = Spec{
 		Kind: KindConv, LayerName: c.name,
@@ -100,9 +131,96 @@ func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return y
 }
 
+// forwardIm2Col is the general path: each image is lowered with im2col
+// and multiplied against the weight matrix one group at a time.
+// Grain 1: each image is heavy (an im2col plus a matmul per group), so
+// even a micro-batch of 2 should use 2 workers. The inner matmul calls
+// degrade to inline execution while the pool is busy with this loop.
+func (c *Conv2d) forwardIm2Col(x, y *tensor.Tensor, n, h, w, outH, outW int) {
+	inCg, outCg := c.InC/c.Groups, c.OutC/c.Groups
+	rows := inCg * c.K * c.K
+	cols := outH * outW
+	parallel.ForGrain(n, 1, func(lo, hi int) {
+		buf := tensor.GetScratch(rows * cols)
+		defer tensor.PutScratch(buf)
+		for img := lo; img < hi; img++ {
+			xImg := x.Data[img*c.InC*h*w : (img+1)*c.InC*h*w]
+			yImg := y.Data[img*c.OutC*cols : (img+1)*c.OutC*cols]
+			for g := 0; g < c.Groups; g++ {
+				tensor.Im2Col(buf, xImg[g*inCg*h*w:(g+1)*inCg*h*w], inCg, h, w, c.K, c.Stride, c.Pad)
+				wg := c.Weight.Data[g*outCg*rows : (g+1)*outCg*rows]
+				tensor.MatMulInto(yImg[g*outCg*cols:(g+1)*outCg*cols], wg, buf, outCg, rows, cols, false)
+			}
+		}
+	})
+}
+
+// forwardPacked is the direct path: pack the image once (padding baked
+// in), run the NC8HW8 microkernel over it in place, unpack the result.
+// The packed weights are cached across calls; the offset table is cached
+// per input geometry. When the profiler is active, layout conversion time
+// is credited to KindPack (contained within this layer's KindConv
+// interval), so pack overhead stays attributable next to compute.
+func (c *Conv2d) forwardPacked(x, y *tensor.Tensor, n, h, w, outH, outW int) {
+	prof := profActive()
+	var packNanos atomic.Int64
+	t0 := time.Time{}
+	if prof {
+		t0 = time.Now()
+	}
+	pw := c.packedWeights()
+	hp, wpad := h+2*c.Pad, w+2*c.Pad
+	if c.xoff == nil || c.xoffH != h || c.xoffW != w {
+		c.xoff = tensor.ConvOffsets(c.InC, hp, wpad, c.K)
+		c.xoffH, c.xoffW = h, w
+	}
+	if prof {
+		packNanos.Add(int64(time.Since(t0)))
+	}
+	xoff := c.xoff
+	cols := outH * outW
+	xpLen := tensor.PackedImageLen(c.InC, h, w, c.Pad)
+	ypLen := tensor.PackedImageLen(c.OutC, outH, outW, 0)
+	parallel.ForGrain(n, 1, func(lo, hi int) {
+		xp := tensor.GetScratch(xpLen)
+		defer tensor.PutScratch(xp)
+		yp := tensor.GetScratch(ypLen)
+		defer tensor.PutScratch(yp)
+		for img := lo; img < hi; img++ {
+			xImg := x.Data[img*c.InC*h*w : (img+1)*c.InC*h*w]
+			yImg := y.Data[img*c.OutC*cols : (img+1)*c.OutC*cols]
+			var tp time.Time
+			if prof {
+				tp = time.Now()
+			}
+			tensor.PackImage(xp, xImg, c.InC, h, w, c.Pad)
+			if prof {
+				packNanos.Add(int64(time.Since(tp)))
+			}
+			tensor.ConvPackedForward(yp, xp, pw, xoff, outH, outW, hp, wpad, c.Stride)
+			if prof {
+				tp = time.Now()
+			}
+			tensor.UnpackImage(yImg, yp, c.OutC, outH, outW)
+			if prof {
+				packNanos.Add(int64(time.Since(tp)))
+			}
+		}
+	})
+	if prof {
+		profAdd(KindPack, false, time.Duration(packNanos.Load()).Seconds())
+	}
+}
+
 // Backward implements Layer: accumulates dWeight and returns dInput.
-// The im2col lowering is recomputed rather than cached, trading FLOPs for
-// the memory the paper shows is the binding constraint on edge devices.
+// The lowering is recomputed rather than cached, trading FLOPs for the
+// memory the paper shows is the binding constraint on edge devices — and
+// it is recomputed in strips of bwStripRows rows, so the transient
+// footprint per worker is two small strip buffers instead of two full
+// column matrices. Strip results are bit-identical to the full
+// materialization: each strip is the same lowering rows fed to the same
+// matmul kernels, and the column-to-image scatter runs in ascending row
+// order across strips.
 func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := c.input
 	if x == nil {
@@ -134,14 +252,24 @@ func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	span := (n + groups - 1) / groups
 	groups = (n + span - 1) / span // drop groups the ceiling left empty
+	strip := bwStripRows
+	if strip > rows {
+		strip = rows
+	}
 	partials := make([][]float32, groups)
 	parallel.For(groups, func(gi int) {
 		lo, hi := gi*span, (gi+1)*span
 		if hi > n {
 			hi = n
 		}
-		colBuf := tensor.GetScratch(rows * cols)
-		dcolBuf := tensor.GetScratch(rows * cols)
+		colBuf := tensor.GetScratch(strip * cols)
+		defer tensor.PutScratch(colBuf)
+		dcolBuf := tensor.GetScratch(strip * cols)
+		defer tensor.PutScratch(dcolBuf)
+		wStrip := tensor.GetScratch(outCg * strip)
+		defer tensor.PutScratch(wStrip)
+		dwStrip := tensor.GetScratch(outCg * strip)
+		defer tensor.PutScratch(dwStrip)
 		dw := tensor.GetScratch(len(c.Weight.Data))
 		clear(dw)
 		for img := lo; img < hi; img++ {
@@ -149,19 +277,40 @@ func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			gImg := grad.Data[img*c.OutC*cols : (img+1)*c.OutC*cols]
 			dxImg := dx.Data[img*c.InC*h*w : (img+1)*c.InC*h*w]
 			for g := 0; g < c.Groups; g++ {
-				tensor.Im2Col(colBuf, xImg[g*inCg*h*w:(g+1)*inCg*h*w], inCg, h, w, c.K, c.Stride, c.Pad)
+				xg := xImg[g*inCg*h*w : (g+1)*inCg*h*w]
+				dxg := dxImg[g*inCg*h*w : (g+1)*inCg*h*w]
 				gSlice := gImg[g*outCg*cols : (g+1)*outCg*cols]
-				// dW_g += dY_g · colsᵀ
-				tensor.MatMulTransBInto(dw[g*outCg*rows:(g+1)*outCg*rows], gSlice, colBuf, outCg, cols, rows, true)
-				// dCols = W_gᵀ · dY_g, scattered back with col2im.
 				wg := c.Weight.Data[g*outCg*rows : (g+1)*outCg*rows]
-				tensor.MatMulTransAInto(dcolBuf, wg, gSlice, outCg, rows, cols, false)
-				tensor.Col2Im(dxImg[g*inCg*h*w:(g+1)*inCg*h*w], dcolBuf, inCg, h, w, c.K, c.Stride, c.Pad)
+				dwg := dw[g*outCg*rows : (g+1)*outCg*rows]
+				for r0 := 0; r0 < rows; r0 += strip {
+					r1 := r0 + strip
+					if r1 > rows {
+						r1 = rows
+					}
+					sr := r1 - r0
+					tensor.Im2ColRows(colBuf, xg, inCg, h, w, c.K, c.Stride, c.Pad, r0, r1)
+					// dW_g strip: each element is the same dY·colᵀ dot
+					// product as the full matmul, added once to the
+					// running partial.
+					tensor.MatMulTransBInto(dwStrip, gSlice, colBuf, outCg, cols, sr, false)
+					for oc := 0; oc < outCg; oc++ {
+						dst := dwg[oc*rows+r0 : oc*rows+r1]
+						for j, v := range dwStrip[oc*sr : (oc+1)*sr] {
+							dst[j] += v
+						}
+					}
+					// dCols strip = W_gᵀ·dY_g over a column slice of W
+					// (copied contiguous so the kernel sees the same
+					// layout), scattered back in ascending row order.
+					for oc := 0; oc < outCg; oc++ {
+						copy(wStrip[oc*sr:(oc+1)*sr], wg[oc*rows+r0:oc*rows+r1])
+					}
+					tensor.MatMulTransAInto(dcolBuf, wStrip, gSlice, outCg, sr, cols, false)
+					tensor.Col2ImRows(dxg, dcolBuf, inCg, h, w, c.K, c.Stride, c.Pad, r0, r1)
+				}
 			}
 		}
 		partials[gi] = dw
-		tensor.PutScratch(colBuf)
-		tensor.PutScratch(dcolBuf)
 	})
 	for _, dw := range partials {
 		for i, v := range dw {

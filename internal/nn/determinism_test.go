@@ -58,6 +58,80 @@ func TestConvDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestConvPackedMatchesIm2ColAtLayerLevel pins the dispatch contract end
+// to end: with FMA off (the default), a stride-1 ungrouped Conv2d must
+// produce bit-identical forward output through the packed direct path and
+// the im2col path, including after a weight update (which must invalidate
+// the packed cache via the Param version).
+func TestConvPackedMatchesIm2ColAtLayerLevel(t *testing.T) {
+	wasFMA := tensor.FMAEnabled()
+	defer tensor.SetFMA(wasFMA)
+	tensor.SetFMA(false)
+	wasPacked := tensor.PackedEnabled()
+	defer tensor.SetPacked(wasPacked)
+
+	for _, tc := range []struct{ in, out, k, pad int }{
+		{3, 16, 3, 1},  // first layer: tail input lanes
+		{16, 16, 3, 1}, // exact blocks
+		{16, 32, 1, 0}, // 1x1 shortcut
+		{10, 12, 3, 0}, // tails both sides, no pad
+	} {
+		rng := rand.New(rand.NewSource(31))
+		conv := NewConv2d("c", rng, tc.in, tc.out, tc.k, 1, tc.pad, 1)
+		if !conv.PackedEligible() {
+			t.Fatalf("%+v: expected packed eligibility", tc)
+		}
+		x := tensor.New(3, tc.in, 9, 11)
+		x.Randn(rng, 1)
+		tensor.SetPacked(true)
+		packed := conv.Forward(x, false)
+		tensor.SetPacked(false)
+		im2col := conv.Forward(x, false)
+		if !float32BitsEqual(packed.Data, im2col.Data) {
+			t.Errorf("%+v: packed and im2col forward differ", tc)
+		}
+
+		// Mutate the weights (with MarkUpdated, per the Param contract)
+		// and re-check: a stale packed cache would show up immediately.
+		for i := range conv.Weight.Data {
+			conv.Weight.Data[i] *= 1.5
+		}
+		conv.Weight.MarkUpdated()
+		tensor.SetPacked(true)
+		packed = conv.Forward(x, false)
+		tensor.SetPacked(false)
+		im2col = conv.Forward(x, false)
+		if !float32BitsEqual(packed.Data, im2col.Data) {
+			t.Errorf("%+v: packed path served stale weights after update", tc)
+		}
+	}
+}
+
+// TestConvPackedFMADeterministicAcrossWorkerCounts: the FMA opt-in gives
+// up bit-parity with the im2col path but must keep the worker-count
+// determinism contract (its accumulation order is unchanged).
+func TestConvPackedFMADeterministicAcrossWorkerCounts(t *testing.T) {
+	if !tensor.FMASupported() {
+		t.Skip("no FMA kernel in this build")
+	}
+	wasFMA := tensor.FMAEnabled()
+	defer tensor.SetFMA(wasFMA)
+	tensor.SetFMA(true)
+	run := func(workers int) []float32 {
+		parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(0)
+		rng := rand.New(rand.NewSource(37))
+		conv := NewConv2d("c", rng, 16, 24, 3, 1, 1, 1)
+		x := tensor.New(6, 16, 10, 10)
+		x.Randn(rng, 1)
+		y := conv.Forward(x, false)
+		return append([]float32(nil), y.Data...)
+	}
+	if !float32BitsEqual(run(1), run(8)) {
+		t.Error("FMA conv forward differs between 1 and 8 workers")
+	}
+}
+
 // TestBatchNormDeterministicAcrossWorkerCounts covers the per-channel
 // coarse loop (grain 1) in both statistics modes.
 func TestBatchNormDeterministicAcrossWorkerCounts(t *testing.T) {

@@ -23,7 +23,20 @@ type Param struct {
 	Name string
 	Data []float32
 	Grad []float32
+
+	// version counts in-place mutations of Data (see MarkUpdated).
+	version uint64
 }
+
+// MarkUpdated records an in-place mutation of Data. Layers that cache
+// derived forms of a parameter — the convolution layer's packed weights —
+// compare versions to invalidate, so every code path that writes Data
+// after construction (optimizer steps, pruning, quantization, checkpoint
+// loading) must call it.
+func (p *Param) MarkUpdated() { p.version++ }
+
+// Version returns the mutation counter MarkUpdated advances.
+func (p *Param) Version() uint64 { return p.version }
 
 func newParam(name string, n int) *Param {
 	return &Param{Name: name, Data: make([]float32, n), Grad: make([]float32, n)}

@@ -26,14 +26,20 @@ type PhaseTotals struct {
 	BwCalls   map[Kind]int
 }
 
-// Total returns the summed forward+backward seconds.
+// Total returns the summed forward+backward seconds. KindPack is
+// excluded: it is a contained sub-measurement of conv time (see
+// KindPack), so adding it would double-count.
 func (p PhaseTotals) Total() float64 {
 	t := 0.0
-	for _, v := range p.FwSeconds {
-		t += v
+	for k, v := range p.FwSeconds {
+		if k != KindPack {
+			t += v
+		}
 	}
-	for _, v := range p.BwSeconds {
-		t += v
+	for k, v := range p.BwSeconds {
+		if k != KindPack {
+			t += v
+		}
 	}
 	return t
 }
@@ -86,6 +92,42 @@ func profStart() time.Time {
 		return time.Time{}
 	}
 	return time.Now()
+}
+
+// profActive reports whether a collection is running. Layers use it to
+// skip fine-grained sub-measurements (pack vs compute attribution) when
+// nobody is listening.
+func profActive() bool {
+	profMu.Lock()
+	active := profCur != nil
+	profMu.Unlock()
+	return active
+}
+
+// profAdd credits dt seconds to a kind directly, without a surrounding
+// interval. The conv layer uses it to attribute layout pack/unpack time
+// (KindPack) separately from kernel compute; the seconds are summed
+// across pool workers, so the split is exact at one worker and
+// CPU-time-like above.
+func profAdd(kind Kind, backward bool, dt float64) {
+	if dt == 0 {
+		return
+	}
+	profMu.Lock()
+	c := profCur
+	profMu.Unlock()
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if backward {
+		c.totals.BwSeconds[kind] += dt
+		c.totals.BwCalls[kind]++
+	} else {
+		c.totals.FwSeconds[kind] += dt
+		c.totals.FwCalls[kind]++
+	}
 }
 
 // profEnd records a completed phase.

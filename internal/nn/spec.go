@@ -14,6 +14,13 @@ const (
 	KindAct
 	KindPool
 	KindComposite
+	// KindPack is a profiler-only kind: the time the packed-layout conv
+	// path spends packing/unpacking tensors (layout conversion, not
+	// arithmetic). It is recorded inside a conv layer's KindConv wall-time
+	// interval, so it is a contained sub-measurement, never added to
+	// KindConv when summing phase totals. No layer reports it as its Spec
+	// kind, so the device cost model never sees it.
+	KindPack
 )
 
 // String returns a short human-readable kind name.
@@ -31,6 +38,8 @@ func (k Kind) String() string {
 		return "pool"
 	case KindComposite:
 		return "composite"
+	case KindPack:
+		return "pack"
 	default:
 		return "other"
 	}

@@ -68,6 +68,7 @@ func (a *Adam) Step() {
 			m[j], v[j] = float32(mj), float32(vj)
 			p.Data[j] -= float32(a.LR * (mj / bc1) / (math.Sqrt(vj/bc2) + a.Eps))
 		}
+		p.MarkUpdated()
 	}
 }
 
@@ -151,5 +152,6 @@ func (s *SGD) Step() {
 			vel[j] = float32(vj)
 			p.Data[j] -= float32(s.LR * vj)
 		}
+		p.MarkUpdated()
 	}
 }

@@ -45,7 +45,9 @@ func (r RealBreakdown) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s %s b%d (measured on this host, %d repeats, %d workers):\n",
 		r.ModelTag, r.Algo, r.Batch, r.Repeats, r.Workers)
-	for _, kind := range []nn.Kind{nn.KindConv, nn.KindBN, nn.KindAct, nn.KindPool, nn.KindLinear} {
+	// KindPack (layout conversion on the packed conv path) is a contained
+	// sub-measurement of conv time, shown for attribution, not added.
+	for _, kind := range []nn.Kind{nn.KindConv, nn.KindPack, nn.KindBN, nn.KindAct, nn.KindPool, nn.KindLinear} {
 		fmt.Fprintf(&b, "  %-7s fw %8.4fs (%4d calls)   bw %8.4fs (%4d calls)\n",
 			kind, r.Totals.FwSeconds[kind], r.Totals.FwCalls[kind],
 			r.Totals.BwSeconds[kind], r.Totals.BwCalls[kind])

@@ -61,11 +61,12 @@ func TestMeasureBreakdownBNOptBackwardDominates(t *testing.T) {
 		t.Fatal(err)
 	}
 	ratio := r.ConvBwOverFw()
-	// The paper measures 2.2–2.5x on its Arm/Volta targets; on a
-	// commodity x86 host with our kernels anything in [1, 6] is sane —
-	// the structural claim is that backward costs clearly more than
-	// forward in total.
-	if ratio < 1.0 || ratio > 8.0 {
+	// The paper measures 2.2–2.5x on its Arm/Volta targets. On this
+	// host the ratio is larger since the packed direct path accelerated
+	// conv forward ~2x while backward still runs the (strip-mined)
+	// im2col kernels — the structural claim is simply that backward
+	// costs clearly more than forward in total.
+	if ratio < 1.0 || ratio > 12.0 {
 		t.Fatalf("conv bw/fw ratio %.2f implausible", ratio)
 	}
 	bwTotal := r.Totals.BwSeconds[nn.KindConv] + r.Totals.BwSeconds[nn.KindBN]

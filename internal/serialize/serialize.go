@@ -130,6 +130,11 @@ func Load(r io.Reader, m *models.Model) error {
 			dst[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
 		}
 	}
+	// Loading overwrote parameter data in place; bump versions so layers
+	// drop caches derived from the old values (packed conv weights).
+	for _, p := range m.Params() {
+		p.MarkUpdated()
+	}
 	return nil
 }
 

@@ -191,6 +191,17 @@ func TestIm2ColCol2ImMatchReferenceAcrossGeometries(t *testing.T) {
 		// pure padding, which once made the stride-1 fast path slice the
 		// plane out of range.
 		{1, 2, 2, 7, 1, 3},
+		// Shapes the packed fast path skips, pinning the fallback
+		// boundary: K=1 at stride 2 (downsampling shortcut convs), K=1
+		// with padding (every output ring is pure padding), stride-2 3×3
+		// with and without padding, and over-padding (pad > (K-1)/2, so
+		// whole kernel rows land outside even the first valid window).
+		{3, 8, 8, 1, 2, 0},
+		{2, 5, 5, 1, 1, 1},
+		{2, 7, 9, 3, 2, 0},
+		{4, 6, 6, 3, 2, 2},
+		{1, 5, 5, 3, 1, 3},
+		{2, 4, 8, 5, 3, 2},
 	}
 	for _, tc := range cases {
 		hout := (tc.h+2*tc.pad-tc.k)/tc.stride + 1

@@ -1,0 +1,209 @@
+package tensor
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// This file implements the NC8HW8 channel-blocked ("packed") layout the
+// direct convolution kernels run on. Channels are grouped into blocks of
+// packLanes; within a block the 8 channel values of one pixel sit in 8
+// consecutive floats, so an 8-wide SIMD register holds one pixel across
+// one channel block. Padding is baked into the packed image (a zero
+// border), which removes every bounds check from the conv microkernel:
+// padded positions contribute w*0 products exactly like the zero entries
+// an im2col lowering would have produced, so the direct kernel remains
+// bit-identical to the im2col-plus-matmul path it replaces (see
+// conv_direct.go for the full argument).
+
+// packLanes is the channel-block width of the packed layout: one SIMD
+// register of float32s.
+const packLanes = 8
+
+// PackLanes returns the channel-block width of the packed layout.
+func PackLanes() int { return packLanes }
+
+// packedDisabled flips the conv dispatch back to the im2col path
+// (EDGETTA_PACKED=0, or SetPacked(false)); the default is enabled.
+var packedDisabled atomic.Bool
+
+// SetPacked enables or disables the packed direct-convolution path
+// process-wide. It exists for benchmarking the im2col path and as a
+// kill-switch; the packed path is on by default.
+func SetPacked(on bool) { packedDisabled.Store(!on) }
+
+// PackedEnabled reports whether the packed direct-convolution path is
+// active.
+func PackedEnabled() bool { return !packedDisabled.Load() }
+
+// fmaActive holds the FMA opt-in. It is only ever true when the CPU
+// supports the fused kernels (fmaHW); SetFMA on unsupported hardware is a
+// no-op that reports false.
+var fmaActive atomic.Bool
+
+// SetFMA opts the packed conv kernels into (or out of) fused
+// multiply-add. FMA skips the intermediate rounding of the separate
+// multiply-and-add kernels, so it is faster but NOT bit-identical to the
+// scalar/im2col paths — hence opt-in only, never default. It returns the
+// resulting state: false means the request was refused because the CPU
+// (or build) has no FMA kernel.
+func SetFMA(on bool) bool {
+	if on && !fmaHW() {
+		fmaActive.Store(false)
+		return false
+	}
+	fmaActive.Store(on)
+	return fmaActive.Load()
+}
+
+// FMAEnabled reports whether the packed conv kernels are currently using
+// fused multiply-add.
+func FMAEnabled() bool { return fmaActive.Load() }
+
+// FMASupported reports whether this build and CPU have an FMA kernel at
+// all (amd64 with AVX2+FMA).
+func FMASupported() bool { return fmaHW() }
+
+func init() {
+	if v := os.Getenv("EDGETTA_PACKED"); v == "0" || v == "false" {
+		packedDisabled.Store(true)
+	}
+	if v := os.Getenv("EDGETTA_FMA"); v == "1" || v == "true" {
+		SetFMA(true)
+	}
+}
+
+// packedBlocks returns the number of channel blocks covering c channels.
+func packedBlocks(c int) int { return (c + packLanes - 1) / packLanes }
+
+// PackedImageLen returns the buffer length PackImage needs for a [C,H,W]
+// image with the given symmetric padding baked in.
+func PackedImageLen(c, h, w, pad int) int {
+	return packedBlocks(c) * (h + 2*pad) * (w + 2*pad) * packLanes
+}
+
+// PackImage packs one NCHW image [C,H,W] (a raw slice) into the padded
+// NC8HW8 layout: dst[((cb*(H+2p)+y)*(W+2p)+x)*8+l] holds channel cb*8+l
+// of input pixel (y-p, x-p). The zero border and any tail lanes past C
+// are cleared, so dst may come from the scratch pool with arbitrary
+// contents.
+func PackImage(dst, src []float32, c, h, w, pad int) {
+	cb := packedBlocks(c)
+	hp, wp := h+2*pad, w+2*pad
+	n := cb * hp * wp * packLanes
+	if len(dst) < n || len(src) < c*h*w {
+		panic("tensor: PackImage slice too short")
+	}
+	clear(dst[:n])
+	for b := 0; b < cb; b++ {
+		lanes := c - b*packLanes
+		if lanes > packLanes {
+			lanes = packLanes
+		}
+		for y := 0; y < h; y++ {
+			out := dst[((b*hp+y+pad)*wp+pad)*packLanes:][: w*packLanes : w*packLanes]
+			for l := 0; l < lanes; l++ {
+				row := src[(b*packLanes+l)*h*w+y*w:][:w:w]
+				o := l
+				for _, v := range row {
+					out[o] = v
+					o += packLanes
+				}
+			}
+		}
+	}
+}
+
+// UnpackImage scatters a packed [CB][H][W][8] buffer (no padding) back
+// into an NCHW [C,H,W] slice, dropping tail lanes.
+func UnpackImage(dst, src []float32, c, h, w int) {
+	cb := packedBlocks(c)
+	if len(src) < cb*h*w*packLanes || len(dst) < c*h*w {
+		panic("tensor: UnpackImage slice too short")
+	}
+	for b := 0; b < cb; b++ {
+		lanes := c - b*packLanes
+		if lanes > packLanes {
+			lanes = packLanes
+		}
+		for y := 0; y < h; y++ {
+			in := src[(b*h+y)*w*packLanes:][: w*packLanes : w*packLanes]
+			for l := 0; l < lanes; l++ {
+				row := dst[(b*packLanes+l)*h*w+y*w:][:w:w]
+				o := l
+				for x := range row {
+					row[x] = in[o]
+					o += packLanes
+				}
+			}
+		}
+	}
+}
+
+// PackedWeights is a convolution weight tensor reordered for the direct
+// kernel: for each output-channel block and each reduction row
+// (input channel, ky, kx — tail input lanes zero-filled), 8 consecutive
+// floats hold the weight across the block's 8 output channels. The
+// buffer is immutable once built; Version records the source Param
+// version it was packed from so callers can cache and share it (clones
+// of an unadapted model share one copy).
+type PackedWeights struct {
+	Data      []float32
+	OutC, InC int
+	K         int
+	Version   uint64
+}
+
+// Rows returns the reduction-row count of the packed kernel, including
+// zero-padded tail input lanes.
+func (p *PackedWeights) Rows() int {
+	return packedBlocks(p.InC) * packLanes * p.K * p.K
+}
+
+// PackConvWeights packs a [outC, inC*K*K] row-major weight matrix.
+func PackConvWeights(w []float32, outC, inC, k int) *PackedWeights {
+	if len(w) < outC*inC*k*k {
+		panic("tensor: PackConvWeights slice too short")
+	}
+	icb, ocb := packedBlocks(inC), packedBlocks(outC)
+	rows := icb * packLanes * k * k
+	data := make([]float32, ocb*rows*packLanes)
+	kk := k * k
+	for ob := 0; ob < ocb; ob++ {
+		for r := 0; r < rows; r++ {
+			ic := r / kk
+			if ic >= inC {
+				continue // zero-padded tail input lane
+			}
+			rem := r % kk
+			for l := 0; l < packLanes; l++ {
+				oc := ob*packLanes + l
+				if oc >= outC {
+					continue // zero-padded tail output lane
+				}
+				data[(ob*rows+r)*packLanes+l] = w[(oc*inC+ic)*kk+rem]
+			}
+		}
+	}
+	return &PackedWeights{Data: data, OutC: outC, InC: inC, K: k}
+}
+
+// ConvOffsets builds the per-row input offset table for a packed input of
+// padded geometry [ICB][hp][wp][8]: entry r is the element offset from an
+// output pixel's origin to the input value that row r of the packed
+// weights multiplies. The table depends only on (inC, hp, wp, k), so
+// callers cache it per conv layer and input geometry.
+func ConvOffsets(inC, hp, wp, k int) []int32 {
+	icb := packedBlocks(inC)
+	rows := icb * packLanes * k * k
+	off := make([]int32, rows)
+	kk := k * k
+	for r := 0; r < rows; r++ {
+		ic := r / kk
+		rem := r % kk
+		ky, kx := rem/k, rem%k
+		b, l := ic/packLanes, ic%packLanes
+		off[r] = int32(((b*hp+ky)*wp+kx)*packLanes + l)
+	}
+	return off
+}

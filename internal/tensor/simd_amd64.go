@@ -15,23 +15,53 @@ func axpyAVX2(a float32, x, y []float32)
 //go:noescape
 func dotAVX2(x, y []float32) float32
 
-var hasAVX2 = func() bool {
+//go:noescape
+func convPackedSpanAVX2(y, x, w []float32, xoff []int32, rows, pixStride, npix int)
+
+//go:noescape
+func convPackedSpanFMA(y, x, w []float32, xoff []int32, rows, pixStride, npix int)
+
+var hasAVX2, hasFMA = func() (bool, bool) {
 	maxID, _, _, _ := cpuid(0, 0)
 	if maxID < 7 {
-		return false
+		return false, false
 	}
 	_, _, c1, _ := cpuid(1, 0)
-	const osxsave, avx = 1 << 27, 1 << 28
+	const osxsave, avx, fma = 1 << 27, 1 << 28, 1 << 12
 	if c1&osxsave == 0 || c1&avx == 0 {
-		return false
+		return false, false
 	}
 	if xcr0, _ := xgetbv(); xcr0&6 != 6 {
-		return false
+		return false, false
 	}
 	_, b7, _, _ := cpuid(7, 0)
 	const avx2 = 1 << 5
-	return b7&avx2 != 0
+	return b7&avx2 != 0, b7&avx2 != 0 && c1&fma != 0
 }()
+
+// fmaHW reports whether this build has a fused-multiply-add conv kernel
+// the FMA opt-in can dispatch to.
+func fmaHW() bool { return hasFMA }
+
+// convPackedSpan computes npix packed output pixels (8 output-channel
+// lanes each) of one conv output row. The AVX2 variant uses separate
+// VMULPS/VADDPS and is bit-identical to the generic kernel; the FMA
+// variant (opt-in via SetFMA) fuses the two roundings into one.
+func convPackedSpan(y, x, w []float32, xoff []int32, rows, pixStride, npix int) {
+	if npix == 0 || rows == 0 {
+		return
+	}
+	_ = y[npix*8-1]
+	if hasAVX2 {
+		if fmaActive.Load() {
+			convPackedSpanFMA(y, x, w, xoff, rows, pixStride, npix)
+			return
+		}
+		convPackedSpanAVX2(y, x, w, xoff, rows, pixStride, npix)
+		return
+	}
+	convPackedSpanGeneric(y, x, w, xoff, rows, pixStride, npix)
+}
 
 // axpy computes y[i] += a*x[i] over len(x) elements. The AVX2 path uses
 // separate multiply and add instructions, so its results are bit-identical

@@ -19,3 +19,14 @@ func dot(x, y []float32) float32 {
 	_ = y[len(x)-1]
 	return dotGeneric(x, y)
 }
+
+// fmaHW reports whether this build has a fused-multiply-add conv kernel;
+// only amd64 does.
+func fmaHW() bool { return false }
+
+func convPackedSpan(y, x, w []float32, xoff []int32, rows, pixStride, npix int) {
+	if npix == 0 || rows == 0 {
+		return
+	}
+	convPackedSpanGeneric(y, x, w, xoff, rows, pixStride, npix)
+}

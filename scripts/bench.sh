@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# scripts/bench.sh — record a benchmark baseline for this repository.
+#
+# Runs the tier-1 real-execution benchmarks at a pinned worker count and
+# writes the best-of-N results as JSON (default BENCH_5.json), so each PR
+# can leave a comparable perf datapoint next to the code it changed.
+#
+# Usage: scripts/bench.sh [out.json]
+#   EDGETTA_WORKERS  pool width to pin (default 1 — the 1-core dev box)
+#   BENCH_COUNT      repetitions per benchmark; the minimum is kept (default 3)
+#   BENCH_TIME       go test -benchtime value (default 5x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_5.json}"
+WORKERS="${EDGETTA_WORKERS:-1}"
+COUNT="${BENCH_COUNT:-3}"
+TIME="${BENCH_TIME:-5x}"
+PATTERN='^(BenchmarkConv3x3Forward|BenchmarkConv3x3ForwardIm2Col|BenchmarkConv3x3ForwardFMA|BenchmarkConv1x1Forward|BenchmarkMatMul256|BenchmarkFullScaleWRNForward|BenchmarkInferenceRepro|BenchmarkBNNormRepro|BenchmarkBNOptRepro)$'
+
+RAW="$(EDGETTA_WORKERS="$WORKERS" go test -run=NONE -bench="$PATTERN" -benchtime="$TIME" -count="$COUNT" .)"
+printf '%s\n' "$RAW"
+
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "goos_goarch": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
+	printf '  "workers": %s,\n' "$WORKERS"
+	printf '  "benchtime": "%s",\n' "$TIME"
+	printf '  "count": %s,\n' "$COUNT"
+	printf '  "ns_per_op": {\n'
+	printf '%s\n' "$RAW" | awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			for (i = 2; i <= NF; i++) {
+				if ($(i+1) == "ns/op") {
+					ns = $i + 0
+					if (!(name in best) || ns < best[name]) best[name] = ns
+					if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+				}
+			}
+		}
+		END {
+			for (i = 1; i <= n; i++)
+				printf "    \"%s\": %d%s\n", order[i], best[order[i]], (i < n ? "," : "")
+		}'
+	printf '  }\n'
+	printf '}\n'
+} >"$OUT"
+echo "wrote $OUT"
