@@ -1,0 +1,68 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgetta/internal/models"
+	"edgetta/internal/tensor"
+)
+
+// The packed-weight cache is keyed on Param.Version: compressing a model
+// in place must invalidate it, or the packed conv path keeps serving the
+// uncompressed weights. These tests pin that contract end to end — the
+// packed forward after compression must be bit-identical to the im2col
+// reference path over the same (compressed) weights, and must differ from
+// the pre-compression output. Dropping the MarkUpdated() calls in Prune or
+// Quantize fails the first comparison.
+
+func packedVsReference(t *testing.T, compressFn func(m *models.Model) error) {
+	t.Helper()
+	if !tensor.PackedEnabled() {
+		t.Fatal("packed path disabled at test entry")
+	}
+	m := model(11)
+	x := tensor.New(2, 3, 32, 32)
+	x.Uniform(rand.New(rand.NewSource(2)), 0, 1)
+
+	// Populate the packed cache with the uncompressed weights.
+	before := m.Forward(x, false).Clone()
+
+	if err := compressFn(m); err != nil {
+		t.Fatal(err)
+	}
+
+	packed := m.Forward(x, false).Clone()
+
+	tensor.SetPacked(false)
+	defer tensor.SetPacked(true)
+	reference := m.Forward(x, false)
+
+	changed := false
+	for i := range packed.Data {
+		if packed.Data[i] != reference.Data[i] {
+			t.Fatalf("packed output diverges from im2col reference at %d: %v != %v — stale packed-weight cache survived compression",
+				i, packed.Data[i], reference.Data[i])
+		}
+		if packed.Data[i] != before.Data[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("compression left the forward output bit-identical: the test exercised nothing")
+	}
+}
+
+func TestPruneInvalidatesPackedCache(t *testing.T) {
+	packedVsReference(t, func(m *models.Model) error {
+		_, err := PruneMagnitude(m, 0.5)
+		return err
+	})
+}
+
+func TestQuantizeInvalidatesPackedCache(t *testing.T) {
+	packedVsReference(t, func(m *models.Model) error {
+		_, err := QuantizeWeights(m, 4)
+		return err
+	})
+}

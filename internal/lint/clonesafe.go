@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// cloneSafe guards the deep-copy contract behind replica-based serving:
+// Clone/CloneLayer methods (nn.Cloner implementers and friends) must not
+// hand the clone direct references to the receiver's slice or map fields —
+// a shared backing array lets one replica's adaptation corrupt another's.
+// Flagged shapes:
+//
+//   - a composite-literal field or assignment whose value is a selector
+//     chain rooted at the receiver with slice or map type
+//     (RunningMean: b.RunningMean);
+//   - a whole-struct copy of the receiver (cp := *m) when the struct has
+//     slice or map fields, which aliases all of them at once.
+//
+// Sharing a pointer field is allowed: immutable shared state (the packed-
+// weight cache) is pointer-typed by design, and the analyzer's job is the
+// mutable-backing-array hazard, not pointer identity.
+var cloneSafe = &Analyzer{
+	Name: "clonesafe",
+	Doc:  "Clone/CloneLayer methods must not shallowly alias the receiver's slice/map fields",
+	Run:  runCloneSafe,
+}
+
+func runCloneSafe(p *Pass) {
+	info := p.Pkg.Info
+	forEachFuncDecl(p.Pkg, func(fd *ast.FuncDecl) {
+		name := fd.Name.Name
+		if fd.Recv == nil || (name != "Clone" && name != "CloneLayer" && name != "clone") {
+			return
+		}
+		if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+			return
+		}
+		recvID := fd.Recv.List[0].Names[0]
+		recvObj := info.Defs[recvID]
+		if recvObj == nil {
+			return
+		}
+
+		check := func(v ast.Expr) {
+			v = ast.Unparen(v)
+			if star, ok := v.(*ast.StarExpr); ok {
+				if id := identOf(star.X); id != nil && info.Uses[id] == recvObj {
+					if fields := sliceOrMapFields(info.Types[v].Type); len(fields) > 0 {
+						p.Reportf(v.Pos(),
+							"shallow struct copy of receiver %s aliases its %s field(s): deep-copy them explicitly",
+							recvID.Name, strings.Join(fields, ", "))
+					}
+				}
+				return
+			}
+			sel, ok := v.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			base := baseIdent(sel)
+			if base == nil || info.Uses[base] != recvObj {
+				return
+			}
+			t := info.Types[v].Type
+			if t == nil {
+				return
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				p.Reportf(v.Pos(),
+					"clone aliases the receiver's %s (%s): copy the backing storage (append/maps.Clone) or justify the share",
+					types.ExprString(v), t)
+			}
+		}
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				check(n.Value)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					check(rhs)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// sliceOrMapFields lists the struct fields with slice or map type.
+func sliceOrMapFields(t types.Type) []string {
+	if t == nil {
+		return nil
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch f.Type().Underlying().(type) {
+		case *types.Slice, *types.Map:
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// namedIs reports whether t (after stripping pointers) is the named type
+// pkgName.typeName. Matching is by package *name*, not import path, so the
+// analyzers apply equally to the real tree and to the stub packages the
+// golden tests type-check under testdata.
+func namedIs(t types.Type, pkgName, typeName string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// calleeFunc resolves the statically-known function or method a call
+// invokes, or nil (builtins, function-typed variables, type conversions).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether call invokes a package-level function with the
+// given name declared in a package with the given name (methods excluded).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgName string, names ...string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != pkgName {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether call invokes the named predeclared function.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// baseIdent returns the leftmost identifier of a selector/index chain
+// (the x of x.a.b[i].c), or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// identOf returns e as a plain identifier, or nil.
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// funcScopes walks the lexical function scopes of a declaration: the
+// declaration body itself and every function literal within it, each as
+// its own scope (defer and return are scoped to them). visit receives the
+// scope's body and is expected not to descend into nested literals itself;
+// funcScopes queues those.
+func funcScopes(fd *ast.FuncDecl, visit func(body *ast.BlockStmt)) {
+	queue := []*ast.BlockStmt{fd.Body}
+	for len(queue) > 0 {
+		body := queue[0]
+		queue = queue[1:]
+		visit(body)
+		scanForLits(body, &queue)
+	}
+}
+
+// scanForLits collects the bodies of function literals directly inside
+// body (not nested in further literals) into queue.
+func scanForLits(body *ast.BlockStmt, queue *[]*ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			*queue = append(*queue, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// inspectScope walks body without descending into nested function
+// literals, so statements are attributed to their owning function scope.
+func inspectScope(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis. Only packages
+// named on the Load pattern line are targets; their dependencies are
+// type-checked (signatures only) so the targets resolve, but analyzers
+// never visit them.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	Target     bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+}
+
+// goList runs the go tool from dir (module root detection is the go
+// tool's job; empty means the current directory) and decodes its JSON
+// package stream. CGO is disabled so every std dependency resolves to its
+// pure-Go file set — the analysis itself never needs cgo, and go.mod
+// stays the only arbiter of (zero) external dependencies.
+func goList(args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("lint: starting go list: %w", err)
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(out)
+	for {
+		lp := &listPkg{}
+		if err := dec.Decode(lp); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s",
+			strings.Join(args, " "), err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// mapImporter resolves imports against the already-checked package set,
+// translating vendored paths through the importing package's ImportMap.
+type mapImporter struct {
+	typed     map[string]*types.Package
+	importMap map[string]string
+}
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if r, ok := m.importMap[path]; ok {
+		path = r
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := m.typed[path]; p != nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("package %q not in dependency graph", path)
+}
+
+// Load discovers the packages matching the go-list patterns, parses and
+// type-checks them — standard library only: discovery is `go list -json`,
+// everything after is go/parser and go/types — and returns them in
+// dependency order with the pattern-matched packages flagged as targets.
+// Test files are not analyzed: the contracts the analyzers enforce bind
+// production code, and tests exercise deliberate violations.
+func Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	matched, err := goList(append([]string{"-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	targets := make(map[string]bool, len(matched))
+	for _, lp := range matched {
+		targets[lp.ImportPath] = true
+	}
+	// -deps lists every transitive dependency before its importers, so a
+	// single in-order sweep can type-check the whole graph.
+	all, err := goList(append([]string{
+		"-deps", "-json=Dir,ImportPath,Name,GoFiles,Imports,ImportMap,Standard"},
+		patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	typed := map[string]*types.Package{"unsafe": types.Unsafe}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	var out []*Package
+	for _, lp := range all {
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		target := targets[lp.ImportPath]
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				if target {
+					return nil, fmt.Errorf("lint: %w", err)
+				}
+				continue // dependency with files we cannot parse: best effort
+			}
+			files = append(files, f)
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer:    mapImporter{typed: typed, importMap: lp.ImportMap},
+			FakeImportC: true,
+			Sizes:       sizes,
+			// Dependencies only need their exported shape; skipping their
+			// bodies keeps a whole-std check fast and robust.
+			IgnoreFuncBodies: !target,
+			Error: func(err error) {
+				if target {
+					typeErrs = append(typeErrs, err)
+				}
+			},
+		}
+		var info *types.Info
+		if target {
+			info = &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+			}
+		}
+		tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+		if target && len(typeErrs) > 0 {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", lp.ImportPath, typeErrs[0])
+		}
+		if tpkg != nil {
+			typed[lp.ImportPath] = tpkg
+		}
+		if target {
+			out = append(out, &Package{
+				ImportPath: lp.ImportPath,
+				Name:       lp.Name,
+				Dir:        lp.Dir,
+				Fset:       fset,
+				Files:      files,
+				Types:      tpkg,
+				Info:       info,
+				Target:     true,
+			})
+		}
+	}
+	return out, nil
+}

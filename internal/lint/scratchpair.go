@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// scratchPair enforces the scratch-pool protocol: every buffer obtained
+// from tensor.GetScratch must be released by tensor.PutScratch exactly
+// once on every path of the acquiring function scope. The repository
+// normalizes on the defer idiom — `buf := tensor.GetScratch(n)` directly
+// followed by `defer tensor.PutScratch(buf)` — which is what the analyzer
+// can prove covers all paths; a manual (non-deferred) put is accepted only
+// when it sits in the same statement block as the acquisition with no
+// return between them. Each function literal is its own scope, since defer
+// and return bind to it.
+//
+// Ownership transfers (acquiring here, releasing in a callee or caller)
+// are beyond the analyzer and must carry a //ttalint:ok scratchpair
+// suppression explaining who releases the buffer.
+var scratchPair = &Analyzer{
+	Name: "scratchpair",
+	Doc:  "tensor.GetScratch buffers must reach tensor.PutScratch on all paths (defer idiom)",
+	Run:  runScratchPair,
+}
+
+type scratchUse struct {
+	acquires  []token.Pos
+	deferPuts []token.Pos
+	plainPuts []token.Pos
+}
+
+func runScratchPair(p *Pass) {
+	info := p.Pkg.Info
+	forEachFuncDecl(p.Pkg, func(fd *ast.FuncDecl) {
+		funcScopes(fd, func(body *ast.BlockStmt) {
+			checkScratchScope(p, info, body)
+		})
+	})
+}
+
+func checkScratchScope(p *Pass, info *types.Info, body *ast.BlockStmt) {
+	uses := map[types.Object]*scratchUse{}
+	var order []types.Object
+	use := func(obj types.Object) *scratchUse {
+		u := uses[obj]
+		if u == nil {
+			u = &scratchUse{}
+			uses[obj] = u
+			order = append(order, obj)
+		}
+		return u
+	}
+	bound := map[*ast.CallExpr]bool{} // GetScratch calls consumed by a binding
+	var returns []token.Pos
+
+	inspectScope(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isPkgFunc(info, call, "tensor", "GetScratch") {
+					continue
+				}
+				bound[call] = true
+				id := identOf(n.Lhs[i])
+				if id == nil || id.Name == "_" {
+					p.Reportf(call.Pos(),
+						"tensor.GetScratch result must be bound to a local variable so its PutScratch can be verified")
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				use(obj).acquires = append(use(obj).acquires, call.Pos())
+			}
+		case *ast.DeferStmt:
+			if obj, ok := putScratchArg(info, n.Call); ok {
+				use(obj).deferPuts = append(use(obj).deferPuts, n.Call.Pos())
+			} else if isPkgFunc(info, n.Call, "tensor", "PutScratch") {
+				p.Reportf(n.Call.Pos(),
+					"tensor.PutScratch argument must be the variable the buffer was acquired into")
+			}
+			return false // a deferred call is not a plain put
+		case *ast.CallExpr:
+			if isPkgFunc(info, n, "tensor", "PutScratch") {
+				if obj, ok := putScratchArg(info, n); ok {
+					use(obj).plainPuts = append(use(obj).plainPuts, n.Pos())
+				} else {
+					p.Reportf(n.Pos(),
+						"tensor.PutScratch argument must be the variable the buffer was acquired into")
+				}
+			} else if isPkgFunc(info, n, "tensor", "GetScratch") && !bound[n] {
+				p.Reportf(n.Pos(),
+					"tensor.GetScratch result must be bound to a local variable so its PutScratch can be verified")
+			}
+		}
+		return true
+	})
+
+	for _, obj := range order {
+		u := uses[obj]
+		switch {
+		case len(u.acquires) == 0:
+			// Releasing a buffer acquired elsewhere: an ownership transfer
+			// the analyzer cannot pair.
+			for _, pos := range append(u.plainPuts, u.deferPuts...) {
+				p.Reportf(pos,
+					"tensor.PutScratch(%s) releases a buffer not acquired in this function scope: pair Get/Put in one scope or justify the ownership transfer",
+					obj.Name())
+			}
+		case len(u.deferPuts) > 0 && len(u.plainPuts) > 0:
+			for _, pos := range u.plainPuts {
+				p.Reportf(pos,
+					"double put: %s is already released by a deferred tensor.PutScratch", obj.Name())
+			}
+		case len(u.deferPuts) > 1:
+			p.Reportf(u.deferPuts[1],
+				"double put: %s has %d deferred tensor.PutScratch calls", obj.Name(), len(u.deferPuts))
+		case len(u.deferPuts) == 1:
+			// The defer idiom: covers every path from the acquisition on.
+		case len(u.plainPuts) == 0:
+			p.Reportf(u.acquires[0],
+				"scratch buffer %s never reaches tensor.PutScratch in this function scope (pool leak): use `defer tensor.PutScratch(%s)`",
+				obj.Name(), obj.Name())
+		case len(u.plainPuts) > 1:
+			p.Reportf(u.plainPuts[1],
+				"%s is released by %d manual tensor.PutScratch calls: normalize on a single `defer tensor.PutScratch(%s)`",
+				obj.Name(), len(u.plainPuts), obj.Name())
+		default: // one manual put
+			get, put := u.acquires[0], u.plainPuts[0]
+			for _, r := range returns {
+				if get < r && r < put {
+					p.Reportf(u.acquires[0],
+						"a return between tensor.GetScratch(%s) and its manual tensor.PutScratch leaks the buffer: use `defer tensor.PutScratch(%s)`",
+						obj.Name(), obj.Name())
+					break
+				}
+			}
+		}
+	}
+}
+
+// putScratchArg resolves the variable a PutScratch call releases.
+func putScratchArg(info *types.Info, call *ast.CallExpr) (types.Object, bool) {
+	if !isPkgFunc(info, call, "tensor", "PutScratch") || len(call.Args) != 1 {
+		return nil, false
+	}
+	id := identOf(call.Args[0])
+	if id == nil {
+		return nil, false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	return obj, true
+}

@@ -1,0 +1,59 @@
+// Package clonesafe exercises the Clone aliasing analyzer: Clone methods
+// must not hand the clone direct references to the receiver's slice or map
+// fields.
+package clonesafe
+
+type cache struct{ w []float32 }
+
+type layer struct {
+	Weights []float32
+	Stats   map[string]float64
+	Name    string
+	packed  *cache
+}
+
+// Clone aliases both mutable containers; the string and the pointer-typed
+// cache share are fine.
+func (l *layer) Clone() *layer {
+	return &layer{
+		Weights: l.Weights, // want "aliases the receiver"
+		Stats:   l.Stats,   // want "aliases the receiver"
+		Name:    l.Name,
+		packed:  l.packed,
+	}
+}
+
+// CloneLayer takes the one-line shortcut that aliases every container at
+// once.
+func (l *layer) CloneLayer() *layer {
+	cp := *l // want "shallow struct copy"
+	return &cp
+}
+
+// clone is the sanctioned deep copy: fresh backing storage for the slice
+// and map, shared pointer for the immutable cache.
+func (l *layer) clone() *layer {
+	cp := &layer{Name: l.Name, packed: l.packed}
+	cp.Weights = append([]float32(nil), l.Weights...)
+	cp.Stats = make(map[string]float64, len(l.Stats))
+	for k, v := range l.Stats {
+		cp.Stats[k] = v
+	}
+	return cp
+}
+
+type scalars struct{ A, B float64 }
+
+// Clone of a struct with no slice or map fields may copy shallowly.
+func (s *scalars) Clone() *scalars {
+	cp := *s
+	return &cp
+}
+
+// borrow is not a Clone method: handing out views is its documented job.
+func (l *layer) borrow() (w []float32) {
+	w = l.Weights
+	return w
+}
+
+var _ = []any{(*layer).Clone, (*layer).CloneLayer, (*layer).clone, (*scalars).Clone, (*layer).borrow}

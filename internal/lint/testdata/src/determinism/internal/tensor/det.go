@@ -1,0 +1,97 @@
+// Package tensor is a golden stand-in whose import path places it inside
+// the determinism analyzer's scope (internal/tensor): kernel code must not
+// depend on map order, the clock, the global rand source, or unmanaged
+// goroutines.
+package tensor
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var profEnabled bool
+
+// sumStats folds floats in map iteration order: addition is not
+// associative, so the total varies run to run.
+func sumStats(m map[int]float64) float64 {
+	t := 0.0
+	for _, v := range m { // want "map iteration order"
+		t += v
+	}
+	return t
+}
+
+// sumSorted is the sanctioned shape: collect the keys, sort, iterate.
+func sumSorted(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	t := 0.0
+	for _, k := range keys {
+		t += m[k]
+	}
+	return t
+}
+
+// countOnly uses no iteration values at all.
+func countOnly(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// keyFold is a near-miss: key-only iteration, but the body folds instead
+// of collecting, so order still reaches the result as far as the analyzer
+// can prove.
+func keyFold(m map[int]float64) int {
+	s := 0
+	for k := range m { // want "map iteration order"
+		s += k
+	}
+	return s
+}
+
+// timed reads the clock unconditionally.
+func timed() float64 {
+	t0 := time.Now()                // want "clock read"
+	return time.Since(t0).Seconds() // want "clock read"
+}
+
+// timedGated reads it only while the profiler listens.
+func timedGated(work func()) float64 {
+	if profEnabled {
+		t0 := time.Now()
+		work()
+		return time.Since(t0).Seconds()
+	}
+	work()
+	return 0
+}
+
+// jitter draws from the process-global source.
+func jitter() float32 {
+	return rand.Float32() // want "global math/rand"
+}
+
+// seeded threads an explicit source; methods on *rand.Rand are fine.
+func seeded(r *rand.Rand) float32 {
+	return r.Float32()
+}
+
+// spawn starts a goroutine the worker pool knows nothing about.
+func spawn(work func()) {
+	done := make(chan struct{})
+	go func() { // want "bare go statement"
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// keep the clean helpers referenced so the package type-checks standalone.
+var _ = []any{sumStats, sumSorted, countOnly, keyFold, timed, timedGated, jitter, seeded, spawn}

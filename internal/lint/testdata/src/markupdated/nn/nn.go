@@ -1,0 +1,16 @@
+// Package nn stubs the Param type for the markupdated golden tests: the
+// analyzer matches the type by package and type name, so this stand-in
+// exercises it exactly like the real internal/nn.
+package nn
+
+// Param mirrors the real nn.Param's versioned-data contract surface.
+type Param struct {
+	Data    []float32
+	version uint64
+}
+
+// MarkUpdated bumps the version that derived caches key on.
+func (p *Param) MarkUpdated() { p.version++ }
+
+// Version returns the mutation counter.
+func (p *Param) Version() uint64 { return p.version }

@@ -1,0 +1,34 @@
+// Suppression-hygiene cases: a justified suppression consumes its finding
+// silently; unjustified, unknown-analyzer, and stale suppressions are
+// themselves findings.
+package markupdated
+
+import "edgetta/internal/lint/testdata/src/markupdated/nn"
+
+// aliasInit writes a Param the analyzer cannot prove fresh (it comes from
+// a call, not a composite literal), so the finding is suppressed with a
+// justification — standalone form, covering the next line.
+func aliasInit(fresh func() *nn.Param) *nn.Param {
+	p := fresh()
+	//ttalint:ok markupdated fresh() builds a Param that has not escaped yet
+	p.Data[0] = 1
+	return p
+}
+
+// aliasInitInline is the same case in end-of-line form.
+func aliasInitInline(fresh func() *nn.Param) *nn.Param {
+	p := fresh()
+	p.Data[0] = 1 //ttalint:ok markupdated fresh() builds a Param that has not escaped yet
+	return p
+}
+
+// hygiene holds the malformed suppressions the framework must flag.
+func hygiene(p *nn.Param) {
+	_ = p
+	//ttalint:ok markupdated
+	// wantup "needs a justification"
+	//ttalint:ok nosuch not a real analyzer name
+	// wantup "unknown analyzer"
+	//ttalint:ok markupdated nothing on the next line needs suppressing
+	// wantup "stale suppression"
+}

@@ -1,0 +1,22 @@
+// Package parallel stubs the worker-pool loops for the nestedpar golden
+// tests: the analyzer matches by package and function name only.
+package parallel
+
+// For runs body for each index.
+func For(n int, body func(i int)) {
+	for i := 0; i < n; i++ {
+		body(i)
+	}
+}
+
+// ForChunked runs body over index ranges.
+func ForChunked(n, chunk int, body func(lo, hi int)) {
+	_ = chunk
+	body(0, n)
+}
+
+// ForGrain runs body per index with a minimum grain per task.
+func ForGrain(n, grain int, body func(i int)) {
+	_ = grain
+	For(n, body)
+}

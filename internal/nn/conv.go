@@ -256,7 +256,17 @@ func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if strip > rows {
 		strip = rows
 	}
+	// The per-group weight-gradient partials outlive the parallel loop (they
+	// are merged in group order below), so they are acquired here, in the
+	// scope whose defers bracket both the loop and the merge — the scratch-
+	// pool protocol ttalint enforces: every GetScratch owns a defer in its
+	// own scope.
 	partials := make([][]float32, groups)
+	for gi := range partials {
+		dw := tensor.GetScratch(len(c.Weight.Data))
+		defer tensor.PutScratch(dw)
+		partials[gi] = dw
+	}
 	parallel.For(groups, func(gi int) {
 		lo, hi := gi*span, (gi+1)*span
 		if hi > n {
@@ -270,7 +280,7 @@ func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		defer tensor.PutScratch(wStrip)
 		dwStrip := tensor.GetScratch(outCg * strip)
 		defer tensor.PutScratch(dwStrip)
-		dw := tensor.GetScratch(len(c.Weight.Data))
+		dw := partials[gi]
 		clear(dw)
 		for img := lo; img < hi; img++ {
 			xImg := x.Data[img*c.InC*h*w : (img+1)*c.InC*h*w]
@@ -310,13 +320,11 @@ func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				}
 			}
 		}
-		partials[gi] = dw
 	})
 	for _, dw := range partials {
 		for i, v := range dw {
 			c.Weight.Grad[i] += v
 		}
-		tensor.PutScratch(dw)
 	}
 	profEnd(KindConv, true, t0)
 	return dx

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -28,20 +29,34 @@ type PhaseTotals struct {
 
 // Total returns the summed forward+backward seconds. KindPack is
 // excluded: it is a contained sub-measurement of conv time (see
-// KindPack), so adding it would double-count.
+// KindPack), so adding it would double-count. The sum runs in ascending
+// kind order: float32/64 addition is not associative, so summing in map
+// iteration order would make the total vary run to run over identical
+// measurements.
 func (p PhaseTotals) Total() float64 {
 	t := 0.0
-	for k, v := range p.FwSeconds {
+	for _, k := range sortedKinds(p.FwSeconds) {
 		if k != KindPack {
-			t += v
+			t += p.FwSeconds[k]
 		}
 	}
-	for k, v := range p.BwSeconds {
+	for _, k := range sortedKinds(p.BwSeconds) {
 		if k != KindPack {
-			t += v
+			t += p.BwSeconds[k]
 		}
 	}
 	return t
+}
+
+// sortedKinds returns m's keys in ascending order, the determinism-safe
+// way to iterate a kind-keyed map.
+func sortedKinds(m map[Kind]float64) []Kind {
+	kinds := make([]Kind, 0, len(m))
+	for k := range m {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
 }
 
 type phaseCollector struct {
