@@ -253,3 +253,27 @@ func BenchmarkStreamAdaptation(b *testing.B) {
 		core.RunStream(a, s, 50)
 	}
 }
+
+// BenchmarkScenarioStream measures continual adaptation over a shifting
+// stream: BN-Norm under a reset policy on an abrupt corruption switch, via
+// the scenario driver with per-phase attribution. Compared to
+// BenchmarkStreamAdaptation, the extra cost is scenario scheduling,
+// per-image corruption dispatch and the policy's entropy bookkeeping.
+func BenchmarkScenarioStream(b *testing.B) {
+	m := reproModel(b)
+	base, err := core.New(core.BNNorm, m, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := core.WithPolicy(base, core.Policy{ResetThreshold: 1.35, BaselineMomentum: 0.8})
+	gen := data.NewGenerator(6)
+	sc := data.AbruptSwitch("bench", []data.Corruption{data.GaussianNoise, data.Fog}, 5, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := gen.NewScheduledStream(int64(i), sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.RunScenario(a, s, 50)
+	}
+}

@@ -7,6 +7,8 @@
 //	ttabench -figure all         # everything
 //	ttabench -anchors            # calibration anchors vs simulated values
 //	ttabench -kernels            # kernel dispatch report (packed/FMA/AVX2)
+//	ttabench -scenario           # continual-TTA scenario study (trains a
+//	                             # repro-scale model; -ckpt caches weights)
 package main
 
 import (
@@ -30,10 +32,20 @@ func main() {
 	anchors := flag.Bool("anchors", false, "print paper anchors vs simulated values")
 	insights := flag.Bool("insights", false, "print the recomputed Sec. IV-G architecture-algorithm insights")
 	kernels := flag.Bool("kernels", false, "print kernel dispatch configuration and per-model conv coverage")
+	scenario := flag.Bool("scenario", false, "run the continual-TTA scenario study on a trained repro-scale model")
+	tag := flag.String("model", "WRN-AM", "model tag for -scenario")
+	ckpt := flag.String("ckpt", "", "checkpoint cache directory for -scenario")
 	flag.Parse()
 
 	if *kernels {
 		printKernels()
+		return
+	}
+	if *scenario {
+		if err := printScenarioStudy(*tag, *ckpt); err != nil {
+			fmt.Fprintln(os.Stderr, "ttabench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *anchors {
@@ -65,6 +77,28 @@ func main() {
 		}
 		fmt.Println(out)
 	}
+}
+
+// printScenarioStudy trains (or loads) a repro-scale model and renders the
+// continual-TTA scenario grid: every standard shifting-stream case ×
+// BN-Norm/BN-Opt × lifecycle policy (none / hard reset / source EMA).
+func printScenarioStudy(tag, ckptDir string) error {
+	cfg := study.MeasuredConfig{
+		CheckpointDir: ckptDir,
+		LogF: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	m, gen, err := study.TrainedModel(tag, cfg)
+	if err != nil {
+		return err
+	}
+	st, err := study.RunScenarioStudy(m, gen, study.ScenarioStudyConfig{Seed: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Println(st)
+	return nil
 }
 
 // printKernels reports which convolution path each model's layers will

@@ -197,6 +197,9 @@ func (a *bnNormAdapter) Reset() {
 	a.arm()
 }
 
+// bnLayers exposes the BN state to the lifecycle policy's regularizer.
+func (a *bnNormAdapter) bnLayers() ([]*nn.BatchNorm2d, *bnSnapshot) { return a.bns, a.snap }
+
 // bnOptAdapter is TENT: batch-statistics normalization plus one Adam step
 // per batch on the BN affine parameters, minimizing prediction entropy.
 // Only γ/β receive updates (<1% of model parameters), but computing their
@@ -246,3 +249,6 @@ func (a *bnOptAdapter) Reset() {
 	a.snap.restore(a.bns)
 	a.arm()
 }
+
+// bnLayers exposes the BN state to the lifecycle policy's regularizer.
+func (a *bnOptAdapter) bnLayers() ([]*nn.BatchNorm2d, *bnSnapshot) { return a.bns, a.snap }

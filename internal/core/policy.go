@@ -1,0 +1,141 @@
+package core
+
+import (
+	"edgetta/internal/nn"
+	"edgetta/internal/tensor"
+)
+
+// Policy configures the adapter lifecycle under temporally-shifting
+// streams. The paper's protocol resets adapters between corruption
+// episodes because it knows where the episodes are; production traffic
+// does not announce its shifts, so the policy has to detect them from the
+// only signal available at test time — the model's own predictions — or
+// continuously regularize so drift can never compound.
+//
+// Two mechanisms, composable:
+//
+//   - Hard reset on detected shift: track an exponential baseline of the
+//     per-batch mean prediction entropy; when a batch's entropy jumps above
+//     ResetThreshold × baseline, the underlying adapter is Reset to its
+//     episode-start state and the batch is re-served from fresh state. An
+//     abrupt corruption switch shows up as exactly this jump: the adapter
+//     is confident (low entropy) on the distribution it tuned itself to,
+//     and abruptly uncertain on the new one.
+//
+//   - Source EMA regularization: after every batch, pull the adaptable BN
+//     state (γ, β, running statistics) back toward the episode-start
+//     snapshot by factor SourceEMA. Drift then decays geometrically instead
+//     of accumulating — the anti-forgetting mechanism for recurring cycles,
+//     where a hard reset would discard adaptation the stream is about to
+//     need again.
+type Policy struct {
+	// ResetThreshold fires a hard reset when a batch's mean entropy exceeds
+	// the tracked baseline by this factor (e.g. 1.5). 0 disables detection.
+	ResetThreshold float64
+	// BaselineMomentum is the entropy EMA coefficient (default 0.3).
+	BaselineMomentum float64
+	// MinBatches is how many batches must season the baseline before
+	// detection may fire (default 2).
+	MinBatches int
+	// SourceEMA, in (0, 1), pulls BN state toward the episode-start
+	// snapshot after every batch. 0 disables regularization.
+	SourceEMA float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.BaselineMomentum == 0 {
+		p.BaselineMomentum = 0.3
+	}
+	if p.MinBatches == 0 {
+		p.MinBatches = 2
+	}
+	return p
+}
+
+// bnAdapted is implemented by adapters that expose their BatchNorm layers
+// and episode-start snapshot, giving the lifecycle policy something to
+// regularize toward. No-Adapt has no adaptable state and does not
+// implement it; the policy degrades to detection-only there.
+type bnAdapted interface {
+	bnLayers() ([]*nn.BatchNorm2d, *bnSnapshot)
+}
+
+// PolicyAdapter wraps an Adapter with a lifecycle Policy. It is itself an
+// Adapter, so every driver (RunStream, RunScenario, robustbench) can score
+// a policy like any algorithm. The wrapper is for the serial drivers;
+// internal/serve keeps serving bare adapters (its per-stream state swap
+// already provides episode isolation).
+type PolicyAdapter struct {
+	inner Adapter
+	cfg   Policy
+
+	baseline float64 // entropy EMA
+	seen     int     // batches since (re)start
+	resets   int     // detection-triggered hard resets, cumulative
+}
+
+// WithPolicy wraps the adapter. The policy's zero value adds pure
+// observation (entropy baseline tracking) and changes no behavior.
+func WithPolicy(a Adapter, p Policy) *PolicyAdapter {
+	return &PolicyAdapter{inner: a, cfg: p.withDefaults()}
+}
+
+// Algorithm implements Adapter, reporting the wrapped algorithm.
+func (p *PolicyAdapter) Algorithm() Algorithm { return p.inner.Algorithm() }
+
+// Resets returns how many detection-triggered hard resets have fired since
+// construction. Episodic Reset calls do not count.
+func (p *PolicyAdapter) Resets() int { return p.resets }
+
+// Process implements Adapter: run the wrapped adapter, detect shifts from
+// the prediction entropy, and apply the configured recovery.
+func (p *PolicyAdapter) Process(x *tensor.Tensor) *tensor.Tensor {
+	logits := p.inner.Process(x)
+	h, _ := nn.MeanEntropy(logits)
+	if p.cfg.ResetThreshold > 0 && p.seen >= p.cfg.MinBatches && h > p.baseline*p.cfg.ResetThreshold {
+		// Shift detected: restart the episode and re-serve the batch from
+		// fresh state, so the detecting batch itself gets the recovery.
+		p.inner.Reset()
+		p.resets++
+		p.seen = 0
+		logits = p.inner.Process(x)
+		h, _ = nn.MeanEntropy(logits)
+	}
+	if p.seen == 0 {
+		p.baseline = h
+	} else {
+		p.baseline += p.cfg.BaselineMomentum * (h - p.baseline)
+	}
+	p.seen++
+	if p.cfg.SourceEMA > 0 {
+		if ba, ok := p.inner.(bnAdapted); ok {
+			bns, snap := ba.bnLayers()
+			regularizeTowardSource(bns, snap, float32(p.cfg.SourceEMA))
+		}
+	}
+	return logits
+}
+
+// Reset implements Adapter: restart the episode and the detector. The
+// cumulative reset count is preserved (it meters policy firings, not
+// episode starts).
+func (p *PolicyAdapter) Reset() {
+	p.inner.Reset()
+	p.baseline = 0
+	p.seen = 0
+}
+
+// regularizeTowardSource pulls every BN layer's adaptable state a step of
+// size lambda toward the episode-start snapshot.
+func regularizeTowardSource(bns []*nn.BatchNorm2d, snap *bnSnapshot, lambda float32) {
+	for i, bn := range bns {
+		for c := range bn.Gamma.Data {
+			bn.Gamma.Data[c] += lambda * (snap.gamma[i][c] - bn.Gamma.Data[c])
+			bn.Beta.Data[c] += lambda * (snap.beta[i][c] - bn.Beta.Data[c])
+			bn.RunningMean[c] += lambda * (snap.rmean[i][c] - bn.RunningMean[c])
+			bn.RunningVar[c] += lambda * (snap.rvar[i][c] - bn.RunningVar[c])
+		}
+		bn.Gamma.MarkUpdated()
+		bn.Beta.MarkUpdated()
+	}
+}

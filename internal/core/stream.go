@@ -6,7 +6,18 @@ import (
 
 	"edgetta/internal/data"
 	"edgetta/internal/nn"
+	"edgetta/internal/tensor"
 )
+
+// Streamer is the batch-iterator contract the online protocol consumes:
+// data.Stream (fixed corruption) and data.ScheduledStream (temporally-
+// shifting scenarios) both satisfy it, so the same drivers — and everything
+// built on them, robustbench and internal/serve included — run either.
+type Streamer interface {
+	// Next returns the next batch of up to n samples, or ok=false when the
+	// stream is exhausted.
+	Next(n int) (x *tensor.Tensor, labels []int, ok bool)
+}
 
 // StreamResult summarizes online adaptation over one test stream.
 type StreamResult struct {
@@ -24,7 +35,7 @@ type StreamResult struct {
 // the stream batch by batch (inference plus adaptation at every batch) and
 // prediction error is accumulated over the whole stream. The adapter is
 // Reset first so each stream is an independent episode.
-func RunStream(a Adapter, s *data.Stream, batchSize int) StreamResult {
+func RunStream(a Adapter, s Streamer, batchSize int) StreamResult {
 	a.Reset()
 	var res StreamResult
 	var hist LatencyHist

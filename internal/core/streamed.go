@@ -98,3 +98,6 @@ func (a *StreamedBNNorm) Reset() {
 	a.snap.restore(a.bns)
 	a.arm()
 }
+
+// bnLayers exposes the BN state to the lifecycle policy's regularizer.
+func (a *StreamedBNNorm) bnLayers() ([]*nn.BatchNorm2d, *bnSnapshot) { return a.bns, a.snap }

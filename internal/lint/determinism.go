@@ -33,7 +33,10 @@ var determinism = &Analyzer{
 }
 
 // determinismScope lists the import-path fragments the analyzer binds to.
-var determinismScope = []string{"internal/tensor", "internal/nn", "internal/parallel"}
+// internal/data is included because stream content carries the same
+// bit-identical contract as the kernels: a seeded generator or scenario
+// schedule must never depend on map order, the clock, or shared rand.
+var determinismScope = []string{"internal/tensor", "internal/nn", "internal/parallel", "internal/data"}
 
 func runDeterminism(p *Pass) {
 	path := p.Pkg.ImportPath
@@ -70,7 +73,8 @@ func runDeterminism(p *Pass) {
 				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
 					if id := identOf(sel.X); id != nil {
 						if pn, ok := info.Uses[id].(*types.PkgName); ok &&
-							strings.HasPrefix(pn.Imported().Path(), "math/rand") {
+							strings.HasPrefix(pn.Imported().Path(), "math/rand") &&
+							!isRandConstructor(sel.Sel.Name) {
 							p.Reportf(n.Pos(),
 								"global math/rand source is process-shared and order-dependent: thread an explicit *rand.Rand")
 						}
@@ -85,6 +89,19 @@ func runDeterminism(p *Pass) {
 			return true
 		})
 	}
+}
+
+// isRandConstructor reports whether name is a math/rand function that
+// *builds* an explicit source rather than drawing from the process-global
+// one. rand.New(rand.NewSource(seed)) is the repository's sanctioned
+// seeded-rng idiom — the resulting *rand.Rand is threaded explicitly, so
+// constructing it cannot leak shared-source state into results.
+func isRandConstructor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
 }
 
 // isKeyCollectLoop recognizes the sanctioned map-range shape: key-only

@@ -83,6 +83,13 @@ func seeded(r *rand.Rand) float32 {
 	return r.Float32()
 }
 
+// construct builds an explicit seeded source — the sanctioned idiom.
+// Constructors touch no process-global state, so they are exempt even
+// though they are package-level math/rand calls.
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
 // spawn starts a goroutine the worker pool knows nothing about.
 func spawn(work func()) {
 	done := make(chan struct{})

@@ -23,6 +23,11 @@ type Config struct {
 	Batch       int
 	Severity    int
 	Corruptions []data.Corruption // default: all 15
+	// Scenarios, when non-empty, adds temporally-shifting streams to the
+	// evaluation: each scenario is scored as one continual episode
+	// (RobustBench proper has no such axis; fixed-corruption columns hide
+	// the continual-TTA failure mode).
+	Scenarios []data.Scenario
 }
 
 func (c Config) withDefaults() Config {
@@ -49,6 +54,11 @@ type Score struct {
 	CorrErr map[string]float64
 	// MeanErr is the average over the evaluated corruption families.
 	MeanErr float64
+	// ScenErr maps scenario name to the continual-episode error rate; empty
+	// unless Config.Scenarios was set.
+	ScenErr map[string]float64
+	// MeanScenErr is the average over the evaluated scenarios (0 if none).
+	MeanScenErr float64
 }
 
 // Evaluate scores an adapter (a model plus its adaptation strategy) under
@@ -70,6 +80,20 @@ func Evaluate(name string, a core.Adapter, cfg Config) (Score, error) {
 		total += e
 	}
 	s.MeanErr = total / float64(len(cfg.Corruptions))
+	if len(cfg.Scenarios) > 0 {
+		s.ScenErr = map[string]float64{}
+		total := 0.0
+		for i, sc := range cfg.Scenarios {
+			st, err := cfg.Gen.NewScheduledStream(cfg.Seed+int64(1000+i), sc)
+			if err != nil {
+				return Score{}, err
+			}
+			e := core.RunStream(a, st, cfg.Batch).ErrorRate
+			s.ScenErr[sc.Name] = e
+			total += e
+		}
+		s.MeanScenErr = total / float64(len(cfg.Scenarios))
+	}
 	return s, nil
 }
 
@@ -115,6 +139,33 @@ func Leaderboard(scores []Score) (string, error) {
 			i+1, s.Name, 100*s.CleanErr, 100*s.MeanErr, mce)
 	}
 	fmt.Fprintf(&b, "(rel mCE baseline: %s)\n", baseline.Name)
+
+	// Scenario columns: one block per shifting-stream scenario, in sorted
+	// scenario-name order, same entry ordering as the main table.
+	var scenNames []string
+	for name := range baseline.ScenErr {
+		scenNames = append(scenNames, name)
+	}
+	sort.Strings(scenNames)
+	if len(scenNames) > 0 {
+		fmt.Fprintf(&b, "\nscenario columns (continual episodes, error %%):\n")
+		fmt.Fprintf(&b, "%-36s", "entry")
+		for _, name := range scenNames {
+			fmt.Fprintf(&b, " %14s", name)
+		}
+		fmt.Fprintf(&b, " %14s\n", "scenario mean")
+		for _, s := range sorted {
+			fmt.Fprintf(&b, "%-36s", s.Name)
+			for _, name := range scenNames {
+				e, ok := s.ScenErr[name]
+				if !ok {
+					return "", fmt.Errorf("robustbench: entry %q lacks scenario %q", s.Name, name)
+				}
+				fmt.Fprintf(&b, " %13.1f%%", 100*e)
+			}
+			fmt.Fprintf(&b, " %13.1f%%\n", 100*s.MeanScenErr)
+		}
+	}
 	return b.String(), nil
 }
 

@@ -117,6 +117,63 @@ func TestWorstCorruptions(t *testing.T) {
 	}
 }
 
+// TestEvaluateScenarioColumns: with scenarios configured, Evaluate scores
+// each as one continual episode and Leaderboard renders the scenario block.
+func TestEvaluateScenarioColumns(t *testing.T) {
+	gen := data.NewGenerator(11)
+	cfg := quickCfg(gen)
+	cfg.Scenarios = []data.Scenario{
+		data.AbruptSwitch("switch", []data.Corruption{data.GaussianNoise, data.Fog}, 3, 30),
+		data.SeverityRamp("ramp", data.Contrast, 1, 3, 20),
+	}
+	var scores []Score
+	for _, algo := range []core.Algorithm{core.NoAdapt, core.BNNorm} {
+		a, _ := core.New(algo, microModel(4), core.Config{})
+		s, err := Evaluate("micro/"+algo.String(), a, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.ScenErr) != 2 {
+			t.Fatalf("expected 2 scenario cells, got %d", len(s.ScenErr))
+		}
+		want := 0.0
+		for name, e := range s.ScenErr {
+			if e < 0 || e > 1 {
+				t.Fatalf("%s scenario error %v out of range", name, e)
+			}
+			want += e / 2
+		}
+		if d := s.MeanScenErr - want; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("MeanScenErr %v inconsistent with cells (want %v)", s.MeanScenErr, want)
+		}
+		scores = append(scores, s)
+	}
+	out, err := Leaderboard(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wantStr := range []string{"scenario columns", "switch", "ramp", "scenario mean"} {
+		if !strings.Contains(out, wantStr) {
+			t.Fatalf("leaderboard lacks %q:\n%s", wantStr, out)
+		}
+	}
+
+	// An entry missing a scenario the baseline has must be rejected.
+	broken := scores[1]
+	broken.ScenErr = map[string]float64{"switch": 0.5}
+	if _, err := Leaderboard([]Score{scores[0], broken}); err == nil {
+		t.Fatal("mismatched scenario sets must error")
+	}
+
+	// An invalid scenario must surface as an Evaluate error.
+	bad := cfg
+	bad.Scenarios = []data.Scenario{{Name: "empty"}}
+	a, _ := core.New(core.NoAdapt, microModel(4), core.Config{})
+	if _, err := Evaluate("x", a, bad); err == nil {
+		t.Fatal("invalid scenario must error")
+	}
+}
+
 // TestAdaptationClimbsLeaderboard is the end-to-end property the paper's
 // study adds on top of RobustBench: the same model with BN adaptation
 // should rank above itself without adaptation on corrupted data.

@@ -88,6 +88,56 @@ func BenchmarkServeMultiStream(b *testing.B) {
 		}
 	})
 
+	b.Run("served-scenario-traffic", func(b *testing.B) {
+		// Same served path under temporally-shifting traffic: every stream
+		// feeds a ScheduledStream whose corruption switches mid-stream, so
+		// the coalescer sees the mixed-distribution batches a real edge
+		// deployment would produce instead of one fixed corruption per
+		// stream.
+		for it := 0; it < b.N; it++ {
+			srv := New(Config{MaxBatch: nStreams * batch, MaxLinger: time.Millisecond, QueueCap: 2 * nStreams})
+			key, err := srv.AddGroup(base, core.NoAdapt, core.Config{}, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := time.Now()
+			var wg sync.WaitGroup
+			for i := 0; i < nStreams; i++ {
+				st, err := srv.OpenStream(key)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wg.Add(1)
+				go func(i int, st *Stream) {
+					defer wg.Done()
+					cs := []data.Corruption{
+						data.AllCorruptions[i%len(data.AllCorruptions)],
+						data.AllCorruptions[(i+5)%len(data.AllCorruptions)],
+					}
+					sc := data.AbruptSwitch("bench-switch", cs, severity, total/2)
+					s, err := gen.NewScheduledStream(int64(100+i), sc)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					for {
+						x, _, ok := s.Next(batch)
+						if !ok {
+							return
+						}
+						if _, err := st.Process(x); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(i, st)
+			}
+			wg.Wait()
+			reportImgPerSec(b, nStreams*total, time.Since(start))
+			srv.Close()
+		}
+	})
+
 	b.Run("served-bnnorm-shared", func(b *testing.B) {
 		for it := 0; it < b.N; it++ {
 			srv := New(Config{QueueCap: 2 * nStreams})

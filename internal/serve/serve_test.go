@@ -354,3 +354,92 @@ func srvGroup(s *Server, key GroupKey) *group {
 	defer s.mu.Unlock()
 	return s.groups[key]
 }
+
+// scenarioBatches materializes a ScheduledStream's batches so serve and
+// serial consume identical shifting-traffic inputs, including the batches
+// that straddle phase boundaries and the short final batch.
+func scenarioBatches(t *testing.T, seed int64, batch int, sc data.Scenario) []*tensor.Tensor {
+	t.Helper()
+	gen := data.NewGenerator(1)
+	s, err := gen.NewScheduledStream(seed, sc)
+	if err != nil {
+		t.Fatalf("NewScheduledStream: %v", err)
+	}
+	var out []*tensor.Tensor
+	for {
+		x, _, ok := s.Next(batch)
+		if !ok {
+			return out
+		}
+		out = append(out, x)
+	}
+}
+
+// TestServeScheduledStreamMatchesSerial is the scenario parity contract: a
+// temporally-shifting ScheduledStream served through shared replicas must be
+// byte-identical to the same scenario run serially with a private adapter,
+// for all three algorithms. Batch size 8 over 10-sample phases forces
+// batches that straddle corruption switches mid-batch.
+func TestServeScheduledStreamMatchesSerial(t *testing.T) {
+	const batch, perPhase = 8, 10
+	base := testModel()
+	scenarios := []data.Scenario{
+		data.AbruptSwitch("switch", []data.Corruption{data.GaussianNoise, data.Fog}, 3, perPhase),
+		data.SeverityRamp("ramp", data.Contrast, 2, 4, perPhase),
+	}
+
+	srv := New(Config{QueueCap: 16})
+	defer srv.Close()
+	keys := make(map[core.Algorithm]GroupKey)
+	for _, algo := range core.Algorithms {
+		key, err := srv.AddGroup(base, algo, core.Config{}, 2)
+		if err != nil {
+			t.Fatalf("AddGroup(%v): %v", algo, err)
+		}
+		keys[algo] = key
+	}
+
+	type job struct {
+		algo   core.Algorithm
+		inputs []*tensor.Tensor
+	}
+	var jobs []job
+	for _, algo := range core.Algorithms {
+		for i, sc := range scenarios {
+			jobs = append(jobs, job{algo, scenarioBatches(t, int64(200+i), batch, sc)})
+		}
+	}
+
+	got := make([][][]float32, len(jobs))
+	var wg sync.WaitGroup
+	errs := make([]error, len(jobs))
+	for j, jb := range jobs {
+		st, err := srv.OpenStream(keys[jb.algo])
+		if err != nil {
+			t.Fatalf("OpenStream(%v): %v", jb.algo, err)
+		}
+		wg.Add(1)
+		go func(j int, jb job, st *Stream) {
+			defer wg.Done()
+			for _, x := range jb.inputs {
+				logits, err := st.Process(x)
+				if err != nil {
+					errs[j] = err
+					return
+				}
+				got[j] = append(got[j], append([]float32(nil), logits.Data...))
+			}
+		}(j, jb, st)
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d (%v): %v", j, jobs[j].algo, err)
+		}
+	}
+
+	for j, jb := range jobs {
+		want := serialLogits(t, base, jb.algo, core.Config{}, jb.inputs)
+		compareLogits(t, j, want, got[j])
+	}
+}

@@ -62,91 +62,47 @@ type Result struct {
 	SimSeconds     float64
 	EnergyJ        float64 // duty-cycled: busy power while serving, idle otherwise
 	Stable         bool    // service rate keeps up with arrival rate
+	// FramesProcessed / FramesDropped account for every ingested frame:
+	// frames of processed batches land in the first bucket, frames of
+	// batches dropped at a full queue in the second. Their sum equals the
+	// ingested frame count — the conservation invariant phased arrivals
+	// (short batches at phase boundaries) must also uphold.
+	FramesProcessed int
+	FramesDropped   int
 }
 
-// Simulate runs the event loop. Batches become ready every
-// BatchSize/FPS seconds; a single processor serves them FIFO in
-// ServiceSeconds each.
-func Simulate(c Config) (Result, error) {
-	if err := c.Validate(); err != nil {
-		return Result{}, err
-	}
-	batchPeriod := float64(c.BatchSize) / c.FPS
-	nBatches := c.TotalFrames / c.BatchSize
+// arrival is one complete batch entering the processor queue: ready time,
+// frame count, and the (possibly frame-scaled) service demand.
+type arrival struct {
+	ready   float64
+	frames  int
+	service float64
+}
 
+// simulate runs the FIFO single-processor event loop over an arrival
+// sequence (which must be sorted by ready time). simEnd is the nominal end
+// of the ingest window; the clock extends past it if the processor is still
+// draining.
+func simulate(c Config, arrivals []arrival, simEnd float64) Result {
 	var res Result
-	res.Stable = c.ServiceSeconds <= batchPeriod
 
 	procFree := 0.0 // time the processor becomes free
 	busy := 0.0
 	queueDepth := 0
-	type pending struct{ ready float64 }
-	var queue []pending
+	var queue []arrival
 
 	totalLatency := 0.0
-	for i := 0; i < nBatches; i++ {
-		ready := float64(i+1) * batchPeriod
-		// Drain any queued batches that start before this one is ready.
-		for len(queue) > 0 && procFree <= ready {
-			b := queue[0]
-			queue = queue[1:]
-			queueDepth--
-			start := procFree
-			if start < b.ready {
-				start = b.ready
-			}
-			done := start + c.ServiceSeconds
-			procFree = done
-			busy += c.ServiceSeconds
-			lat := done - b.ready
-			totalLatency += lat
-			res.Batches++
-			if lat > res.WorstLatency {
-				res.WorstLatency = lat
-			}
-			if lat > c.DeadlineSeconds {
-				res.DeadlineMisses++
-			}
-		}
-		if procFree <= ready {
-			// Processor idle when the batch arrives: serve immediately.
-			done := ready + c.ServiceSeconds
-			procFree = done
-			busy += c.ServiceSeconds
-			lat := c.ServiceSeconds
-			totalLatency += lat
-			res.Batches++
-			if lat > res.WorstLatency {
-				res.WorstLatency = lat
-			}
-			if lat > c.DeadlineSeconds {
-				res.DeadlineMisses++
-			}
-			continue
-		}
-		// Processor busy: enqueue or drop.
-		if c.QueueCap > 0 && queueDepth >= c.QueueCap {
-			res.Dropped++
-			continue
-		}
-		queue = append(queue, pending{ready: ready})
-		queueDepth++
-		if queueDepth > res.MaxQueueDepth {
-			res.MaxQueueDepth = queueDepth
-		}
-	}
-	// Drain the tail of the queue.
-	for _, b := range queue {
-		start := procFree
+	serve := func(b arrival, start float64) {
 		if start < b.ready {
 			start = b.ready
 		}
-		done := start + c.ServiceSeconds
+		done := start + b.service
 		procFree = done
-		busy += c.ServiceSeconds
+		busy += b.service
 		lat := done - b.ready
 		totalLatency += lat
 		res.Batches++
+		res.FramesProcessed += b.frames
 		if lat > res.WorstLatency {
 			res.WorstLatency = lat
 		}
@@ -154,8 +110,37 @@ func Simulate(c Config) (Result, error) {
 			res.DeadlineMisses++
 		}
 	}
+	for _, a := range arrivals {
+		// Drain any queued batches that start before this one is ready.
+		for len(queue) > 0 && procFree <= a.ready {
+			b := queue[0]
+			queue = queue[1:]
+			queueDepth--
+			serve(b, procFree)
+		}
+		if procFree <= a.ready {
+			// Processor idle when the batch arrives: serve immediately.
+			serve(a, a.ready)
+			continue
+		}
+		// Processor busy: enqueue or drop.
+		if c.QueueCap > 0 && queueDepth >= c.QueueCap {
+			res.Dropped++
+			res.FramesDropped += a.frames
+			continue
+		}
+		queue = append(queue, a)
+		queueDepth++
+		if queueDepth > res.MaxQueueDepth {
+			res.MaxQueueDepth = queueDepth
+		}
+	}
+	// Drain the tail of the queue.
+	for _, b := range queue {
+		serve(b, procFree)
+	}
 
-	res.SimSeconds = float64(nBatches) * batchPeriod
+	res.SimSeconds = simEnd
 	if procFree > res.SimSeconds {
 		res.SimSeconds = procFree
 	}
@@ -167,5 +152,75 @@ func Simulate(c Config) (Result, error) {
 		res.Utilization = busy / res.SimSeconds
 	}
 	res.EnergyJ = busy*c.PowerBusyW + (res.SimSeconds-busy)*c.PowerIdleW
+	return res
+}
+
+// Simulate runs the event loop. Batches become ready every
+// BatchSize/FPS seconds; a single processor serves them FIFO in
+// ServiceSeconds each.
+func Simulate(c Config) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	batchPeriod := float64(c.BatchSize) / c.FPS
+	nBatches := c.TotalFrames / c.BatchSize
+	arrivals := make([]arrival, nBatches)
+	for i := range arrivals {
+		arrivals[i] = arrival{
+			ready:   float64(i+1) * batchPeriod,
+			frames:  c.BatchSize,
+			service: c.ServiceSeconds,
+		}
+	}
+	res := simulate(c, arrivals, float64(nBatches)*batchPeriod)
+	res.Stable = c.ServiceSeconds <= batchPeriod
+	return res, nil
+}
+
+// SimulatePhased runs the event loop over phased arrivals: frames stream at
+// FPS as usual, but batch accumulation restarts at every phase boundary (a
+// deployment that cuts its adaptation batch when the scenario shifts, so no
+// batch mixes two phases). Each phase yields full BatchSize batches plus a
+// short remainder batch at the boundary; service time scales linearly with
+// the batch's frame count. phaseFrames typically comes from
+// data.Scenario.PhaseLengths(); Config.TotalFrames is ignored and derived
+// from the phases instead.
+func SimulatePhased(c Config, phaseFrames []int) (Result, error) {
+	if len(phaseFrames) == 0 {
+		return Result{}, fmt.Errorf("stream: no phases")
+	}
+	total := 0
+	for i, n := range phaseFrames {
+		if n <= 0 {
+			return Result{}, fmt.Errorf("stream: phase %d has %d frames", i, n)
+		}
+		total += n
+	}
+	c.TotalFrames = total
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	var arrivals []arrival
+	ingested := 0
+	for _, n := range phaseFrames {
+		for done := 0; done < n; {
+			frames := c.BatchSize
+			if rest := n - done; rest < frames {
+				frames = rest // short batch cut at the phase boundary
+			}
+			done += frames
+			ingested += frames
+			arrivals = append(arrivals, arrival{
+				// Ready when the batch's last frame arrives.
+				ready:   float64(ingested) / c.FPS,
+				frames:  frames,
+				service: c.ServiceSeconds * float64(frames) / float64(c.BatchSize),
+			})
+		}
+	}
+	res := simulate(c, arrivals, float64(total)/c.FPS)
+	// Stability is against the worst case: back-to-back full batches.
+	res.Stable = c.ServiceSeconds <= float64(c.BatchSize)/c.FPS
 	return res, nil
 }

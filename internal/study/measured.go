@@ -3,6 +3,7 @@ package study
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"strings"
 
@@ -58,11 +59,11 @@ type MeasuredResult struct {
 	Err map[string][]float64
 }
 
-// RunMeasured trains a repro-scale model (robust regime for the ResNet
-// family, plain for MobileNetV2, as in the paper) and measures average
-// corrupted-stream prediction error for the three algorithms at each batch
-// size — the real-experiment counterpart of Fig. 2.
-func RunMeasured(tag string, cfg MeasuredConfig) (*MeasuredResult, error) {
+// TrainedModel trains (or loads from the checkpoint cache) a repro-scale
+// model: robust regime for the ResNet family, plain for MobileNetV2, as in
+// the paper. It is the shared entry point of every measured experiment —
+// the Fig.-2 reproduction, the leaderboard tooling, and the scenario study.
+func TrainedModel(tag string, cfg MeasuredConfig) (*models.Model, *data.Generator, error) {
 	cfg = cfg.withDefaults()
 	logf := cfg.LogF
 	if logf == nil {
@@ -70,7 +71,7 @@ func RunMeasured(tag string, cfg MeasuredConfig) (*MeasuredResult, error) {
 	}
 	m, err := models.ByTag(tag, rand.New(rand.NewSource(cfg.Seed)), models.ReproScale)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	gen := data.NewGenerator(cfg.Seed + 1000)
 	regime := train.Robust
@@ -90,10 +91,28 @@ func RunMeasured(tag string, cfg MeasuredConfig) (*MeasuredResult, error) {
 			Seed: cfg.Seed, Quiet: true,
 		})
 		if ckpt != "" {
-			if err := serialize.SaveFile(ckpt, m); err != nil {
+			if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+				logf("warning: could not create checkpoint dir: %v", err)
+			} else if err := serialize.SaveFile(ckpt, m); err != nil {
 				logf("warning: could not save checkpoint: %v", err)
 			}
 		}
+	}
+	return m, gen, nil
+}
+
+// RunMeasured trains a repro-scale model and measures average
+// corrupted-stream prediction error for the three algorithms at each batch
+// size — the real-experiment counterpart of Fig. 2.
+func RunMeasured(tag string, cfg MeasuredConfig) (*MeasuredResult, error) {
+	cfg = cfg.withDefaults()
+	logf := cfg.LogF
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	m, gen, err := TrainedModel(tag, cfg)
+	if err != nil {
+		return nil, err
 	}
 	res := &MeasuredResult{
 		ModelTag: tag,
@@ -126,37 +145,9 @@ func RunMeasured(tag string, cfg MeasuredConfig) (*MeasuredResult, error) {
 // model and wraps it with the given adaptation algorithm — the entry point
 // the leaderboard tooling shares with RunMeasured.
 func TrainedAdapter(tag string, algo core.Algorithm, cfg MeasuredConfig) (core.Adapter, *data.Generator, error) {
-	cfg = cfg.withDefaults()
-	logf := cfg.LogF
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
-	m, err := models.ByTag(tag, rand.New(rand.NewSource(cfg.Seed)), models.ReproScale)
+	m, gen, err := TrainedModel(tag, cfg)
 	if err != nil {
 		return nil, nil, err
-	}
-	gen := data.NewGenerator(cfg.Seed + 1000)
-	regime := train.Robust
-	if tag == "MBV2" {
-		regime = train.Plain
-	}
-	ckpt := ""
-	if cfg.CheckpointDir != "" {
-		ckpt = filepath.Join(cfg.CheckpointDir, tag+".ckpt")
-	}
-	if ckpt != "" && serialize.LoadFile(ckpt, m) == nil {
-		logf("loaded cached checkpoint %s", ckpt)
-	} else {
-		logf("training %s (repro scale, %v regime)...", tag, regime)
-		train.Train(m, gen, train.Config{
-			Regime: regime, Epochs: cfg.Epochs, TrainSize: cfg.TrainSize,
-			Seed: cfg.Seed, Quiet: true,
-		})
-		if ckpt != "" {
-			if err := serialize.SaveFile(ckpt, m); err != nil {
-				logf("warning: could not save checkpoint: %v", err)
-			}
-		}
 	}
 	adapter, err := core.New(algo, m, core.Config{})
 	if err != nil {

@@ -2,7 +2,7 @@
 # scripts/bench.sh — record a benchmark baseline for this repository.
 #
 # Runs the tier-1 real-execution benchmarks at a pinned worker count and
-# writes the best-of-N results as JSON (default BENCH_5.json), so each PR
+# writes the best-of-N results as JSON (default BENCH_7.json), so each PR
 # can leave a comparable perf datapoint next to the code it changed.
 #
 # Usage: scripts/bench.sh [out.json]
@@ -12,11 +12,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_5.json}"
+OUT="${1:-BENCH_7.json}"
 WORKERS="${EDGETTA_WORKERS:-1}"
 COUNT="${BENCH_COUNT:-3}"
 TIME="${BENCH_TIME:-5x}"
-PATTERN='^(BenchmarkConv3x3Forward|BenchmarkConv3x3ForwardIm2Col|BenchmarkConv3x3ForwardFMA|BenchmarkConv1x1Forward|BenchmarkMatMul256|BenchmarkFullScaleWRNForward|BenchmarkInferenceRepro|BenchmarkBNNormRepro|BenchmarkBNOptRepro)$'
+PATTERN='^(BenchmarkConv3x3Forward|BenchmarkConv3x3ForwardIm2Col|BenchmarkConv3x3ForwardFMA|BenchmarkConv1x1Forward|BenchmarkMatMul256|BenchmarkFullScaleWRNForward|BenchmarkInferenceRepro|BenchmarkBNNormRepro|BenchmarkBNOptRepro|BenchmarkScenarioStream)$'
 
 RAW="$(EDGETTA_WORKERS="$WORKERS" go test -run=NONE -bench="$PATTERN" -benchtime="$TIME" -count="$COUNT" .)"
 printf '%s\n' "$RAW"
