@@ -19,6 +19,7 @@ import (
 	"edgetta/internal/nn"
 	"edgetta/internal/profile"
 	"edgetta/internal/study"
+	"edgetta/internal/telemetry"
 	"edgetta/internal/tensor"
 )
 
@@ -134,6 +135,32 @@ func BenchmarkFullScaleWRNForward(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.Forward(x, false)
 	}
+}
+
+// BenchmarkFullScaleWRNForwardTraced is the same forward with a tracer
+// installed: its delta against BenchmarkFullScaleWRNForward is the cost of
+// the telemetry contract (disabled tracing must be free; enabled tracing
+// must stay within a few percent on a real workload).
+func BenchmarkFullScaleWRNForwardTraced(b *testing.B) {
+	prior := telemetry.StopTracing()
+	defer func() {
+		if prior != nil {
+			telemetry.StartTracing()
+		}
+	}()
+	m := models.WideResNet402(rand.New(rand.NewSource(1)), models.Full)
+	x := randBatch(1)
+	tr := telemetry.StartTracingLimit(1 << 20)
+	if tr == nil {
+		b.Fatal("StartTracing failed")
+	}
+	defer telemetry.StopTracing()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x, false)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(tr.Len()), "trace_events")
 }
 
 func benchConv3x3(b *testing.B) {

@@ -7,6 +7,7 @@
 //	ttabench -figure all         # everything
 //	ttabench -anchors            # calibration anchors vs simulated values
 //	ttabench -kernels            # kernel dispatch report (packed/FMA/AVX2)
+//	ttabench -trace out.json     # Chrome trace of one BN-Opt kernel run
 //	ttabench -scenario           # continual-TTA scenario study (trains a
 //	                             # repro-scale model; -ckpt caches weights)
 package main
@@ -35,7 +36,16 @@ func main() {
 	scenario := flag.Bool("scenario", false, "run the continual-TTA scenario study on a trained repro-scale model")
 	tag := flag.String("model", "WRN-AM", "model tag for -scenario")
 	ckpt := flag.String("ckpt", "", "checkpoint cache directory for -scenario")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of one kernel run to this file")
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := writeKernelTrace(*traceOut, *tag); err != nil {
+			fmt.Fprintln(os.Stderr, "ttabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *kernels {
 		printKernels()
@@ -77,6 +87,34 @@ func main() {
 		}
 		fmt.Println(out)
 	}
+}
+
+// writeKernelTrace captures a single-run BN-Opt kernel trace on the
+// repro-scale model and writes it as Chrome trace-event JSON — every
+// layer's fw/bw span plus the packed conv path's pack sub-spans, viewable
+// at chrome://tracing or https://ui.perfetto.dev.
+func writeKernelTrace(path, tag string) error {
+	m, err := models.ByTag(tag, rand.New(rand.NewSource(1)), models.ReproScale)
+	if err != nil {
+		return err
+	}
+	tr, err := profile.CaptureKernelTrace(m, core.BNOpt, 16, 1)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d events (%d dropped)\n", path, tr.Len(), tr.Dropped())
+	return nil
 }
 
 // printScenarioStudy trains (or loads) a repro-scale model and renders the

@@ -9,12 +9,23 @@
 //	ttaserve -model WRN-AM -algo bnnorm -streams 8 -replicas 2
 //	ttaserve -algo noadapt -maxbatch 128 -linger 2ms     # coalescing path
 //	ttaserve -train                                      # robust-train first
+//	ttaserve -http :8080 -hold 1m                        # observability endpoints
+//
+// With -http, the server exposes /metrics (Prometheus text; ?format=json
+// for JSON), /debug/streams (per-group and per-stream stats as JSON), and
+// /debug/trace (records a Chrome trace for ?sec= seconds and streams it
+// back). -hold keeps the process serving after the workload finishes so
+// the endpoints can be scraped; -trace writes a Chrome trace of the whole
+// workload to a file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -25,6 +36,7 @@ import (
 	"edgetta/internal/models"
 	"edgetta/internal/parallel"
 	"edgetta/internal/serve"
+	"edgetta/internal/telemetry"
 	"edgetta/internal/train"
 )
 
@@ -41,6 +53,9 @@ func main() {
 	queueCap := flag.Int("queuecap", 64, "pending request bound (backpressure)")
 	workers := flag.Int("workers", 0, "parallel pool width (0 = GOMAXPROCS)")
 	doTrain := flag.Bool("train", false, "robust-train the repro-scale model first (slower, meaningful error rates)")
+	httpAddr := flag.String("http", "", "serve /metrics, /debug/streams and /debug/trace on this address (empty = off)")
+	hold := flag.Duration("hold", 0, "keep serving the HTTP endpoints this long after the workload finishes")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the workload to this file")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -60,8 +75,26 @@ func main() {
 		train.Train(m, gen, train.Config{Regime: train.Robust, Epochs: 4, TrainSize: 1536, Seed: 1, Quiet: true})
 	}
 
-	srv := serve.New(serve.Config{MaxBatch: *maxBatch, MaxLinger: *linger, QueueCap: *queueCap})
+	reg := telemetry.NewRegistry()
+	reg.GaugeFunc("edgetta_pool_workers", func() float64 { return float64(parallel.Workers()) })
+	srv := serve.New(serve.Config{MaxBatch: *maxBatch, MaxLinger: *linger, QueueCap: *queueCap, Registry: reg})
 	defer srv.Close()
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("observability: http://%s/metrics /debug/streams /debug/trace\n", ln.Addr())
+		go http.Serve(ln, buildMux(reg, srv))
+	}
+
+	var workloadTrace *telemetry.Tracer
+	if *traceOut != "" {
+		if workloadTrace = telemetry.StartTracing(); workloadTrace == nil {
+			fatal(fmt.Errorf("a trace is already being collected (EDGETTA_TRACE=1?)"))
+		}
+	}
 	key, err := srv.AddGroup(m, algo, core.Config{}, *replicas)
 	if err != nil {
 		fatal(err)
@@ -133,6 +166,47 @@ func main() {
 		stats.Requests, stats.Batches, stats.MeanCoalesced, stats.MaxCoalesced, stats.MaxQueueDepth)
 	fmt.Printf("service:   %s\n", stats.Service)
 	fmt.Printf("e2e:       %s\n", stats.E2E)
+
+	if workloadTrace != nil {
+		telemetry.StopTracing()
+		if err := writeTrace(*traceOut, workloadTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:     %s (%d events, %d dropped)\n",
+			*traceOut, workloadTrace.Len(), workloadTrace.Dropped())
+	}
+	if *hold > 0 {
+		fmt.Printf("holding for %v (ctrl-C to exit)...\n", *hold)
+		time.Sleep(*hold)
+	}
+}
+
+// buildMux wires the observability endpoints over the registry and the
+// server's group snapshots.
+func buildMux(reg *telemetry.Registry, srv *serve.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
+	mux.Handle("/debug/trace", telemetry.TraceHandler())
+	mux.HandleFunc("/debug/streams", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(srv.Stats())
+	})
+	return mux
+}
+
+// writeTrace dumps a finished tracer to path.
+func writeTrace(path string, tr *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseAlgo(s string) (core.Algorithm, error) {

@@ -22,6 +22,7 @@ import (
 	"edgetta/internal/core"
 	"edgetta/internal/data"
 	"edgetta/internal/study"
+	"edgetta/internal/telemetry"
 )
 
 func main() {
@@ -33,7 +34,19 @@ func main() {
 	seed := flag.Int64("seed", 7, "experiment seed")
 	ckptDir := flag.String("ckpt", "", "directory for cached checkpoints (reused across runs)")
 	severities := flag.Bool("severities", false, "after Fig 2, sweep all 5 severities with BN-Norm (extension: the paper fixes severity 5)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the whole run to this file (bounded buffer; drops past the cap)")
 	flag.Parse()
+
+	var runTrace *telemetry.Tracer
+	if *traceOut != "" {
+		// A whole training run emits far more layer spans than a single
+		// kernel trace; raise the buffer bound and report drops instead of
+		// growing without limit.
+		if runTrace = telemetry.StartTracingLimit(1 << 20); runTrace == nil {
+			fmt.Fprintln(os.Stderr, "ttatrain: a trace is already being collected (EDGETTA_TRACE=1?)")
+			os.Exit(1)
+		}
+	}
 
 	tags := strings.Split(*modelsFlag, ",")
 	if *modelsFlag == "all" {
@@ -85,5 +98,21 @@ func main() {
 			}
 			fmt.Printf("\n%s:\n%s", tag, sw)
 		}
+	}
+
+	if runTrace != nil {
+		telemetry.StopTracing()
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = runTrace.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttatrain:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: %s (%d events, %d dropped)\n", *traceOut, runTrace.Len(), runTrace.Dropped())
 	}
 }

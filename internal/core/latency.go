@@ -1,85 +1,14 @@
 package core
 
-import (
-	"fmt"
-	"sort"
-	"time"
-)
+import "edgetta/internal/telemetry"
 
-// latencyWindow bounds LatencyHist's raw-sample memory: past this many
-// observations the histogram becomes a sliding window over the most
-// recent ones, so a long-lived server's metrics stay O(1) per stream and
-// group. Bounded runs (the paper's protocol is 10000 samples per
-// corruption, in batches) never hit the bound, so their percentiles stay
-// exact.
-const latencyWindow = 1 << 14
-
-// LatencyHist accumulates per-batch latency observations so the batch and
-// serving paths report comparable tail metrics. It stores raw samples up
-// to latencyWindow, then keeps the most recent latencyWindow of them
-// (Count still reports the lifetime total). The zero value is ready to
-// use. Not safe for concurrent Observe; callers serialize (RunStream is
-// single-threaded, the server observes under its group lock).
-type LatencyHist struct {
-	samples []time.Duration
-	next    int // ring cursor once len(samples) == latencyWindow
-	total   int // lifetime observation count
-}
-
-// Observe records one latency sample.
-func (h *LatencyHist) Observe(d time.Duration) {
-	h.total++
-	if len(h.samples) < latencyWindow {
-		h.samples = append(h.samples, d)
-		return
-	}
-	h.samples[h.next] = d
-	h.next = (h.next + 1) % latencyWindow
-}
-
-// Summary computes the distribution summary (nearest-rank percentiles
-// over the retained window; Count is the lifetime total).
-func (h *LatencyHist) Summary() LatencySummary {
-	s := LatencySummary{Count: h.total}
-	if len(h.samples) == 0 {
-		return s
-	}
-	sorted := append([]time.Duration(nil), h.samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var total time.Duration
-	for _, d := range sorted {
-		total += d
-	}
-	rank := func(p float64) time.Duration {
-		i := int(p*float64(len(sorted))+0.5) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(sorted) {
-			i = len(sorted) - 1
-		}
-		return sorted[i]
-	}
-	s.Mean = total / time.Duration(len(sorted))
-	s.P50, s.P95, s.P99 = rank(0.50), rank(0.95), rank(0.99)
-	s.Max = sorted[len(sorted)-1]
-	return s
-}
+// LatencyHist is the repository's bounded latency histogram, now owned by
+// internal/telemetry so the serving tier can register the same histograms
+// it observes into with the metrics registry. The alias keeps the batch
+// and serving call sites (RunStream, robustbench, serve groups) on the
+// core vocabulary.
+type LatencyHist = telemetry.Hist
 
 // LatencySummary is the headline latency distribution of a stream or a
 // serving group: median and tail percentiles over per-batch wall time.
-type LatencySummary struct {
-	Count               int
-	Mean, P50, P95, P99 time.Duration
-	Max                 time.Duration
-}
-
-// String formats the summary's headline numbers.
-func (s LatencySummary) String() string {
-	if s.Count == 0 {
-		return "no samples"
-	}
-	return fmt.Sprintf("p50=%v p95=%v p99=%v max=%v (n=%d)",
-		s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond),
-		s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond), s.Count)
-}
+type LatencySummary = telemetry.Summary

@@ -2,6 +2,7 @@ package core
 
 import (
 	"edgetta/internal/nn"
+	"edgetta/internal/telemetry"
 	"edgetta/internal/tensor"
 )
 
@@ -95,6 +96,15 @@ func (p *PolicyAdapter) Process(x *tensor.Tensor) *tensor.Tensor {
 	if p.cfg.ResetThreshold > 0 && p.seen >= p.cfg.MinBatches && h > p.baseline*p.cfg.ResetThreshold {
 		// Shift detected: restart the episode and re-serve the batch from
 		// fresh state, so the detecting batch itself gets the recovery.
+		// The trace marker attributes the reset to the entropy jump that
+		// fired it (observed vs. baseline vs. firing threshold).
+		if tr := telemetry.ActiveTracer(); tr != nil {
+			tr.Instant("policy", "reset", 0,
+				telemetry.Arg{Key: "entropy", Value: h},
+				telemetry.Arg{Key: "baseline", Value: p.baseline},
+				telemetry.Arg{Key: "threshold", Value: p.baseline * p.cfg.ResetThreshold},
+				telemetry.Arg{Key: "algo", Value: p.inner.Algorithm().String()})
+		}
 		p.inner.Reset()
 		p.resets++
 		p.seen = 0

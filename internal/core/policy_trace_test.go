@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"edgetta/internal/telemetry"
+	"edgetta/internal/tensor"
+)
+
+// TestPolicyResetInstant pins the reset marker: a tracer records exactly one
+// "reset" instant per detection, carrying the entropy attribution, and the
+// tracer's presence changes neither the reset count nor the re-serve count.
+func TestPolicyResetInstant(t *testing.T) {
+	prior := telemetry.StopTracing()
+	defer func() {
+		if prior != nil {
+			telemetry.StartTracing()
+		}
+	}()
+
+	run := func() (*scriptedAdapter, *PolicyAdapter) {
+		inner := &scriptedAdapter{script: []string{"low", "low", "high", "low"}}
+		p := WithPolicy(inner, Policy{ResetThreshold: 1.35})
+		x := tensor.New(4, 3, 2, 2)
+		for i := 0; i < 4; i++ {
+			p.Process(x)
+		}
+		return inner, p
+	}
+
+	baseInner, basePolicy := run()
+
+	tr := telemetry.StartTracing()
+	if tr == nil {
+		t.Fatal("StartTracing failed")
+	}
+	tracedInner, tracedPolicy := run()
+	telemetry.StopTracing()
+
+	if baseInner.resets != tracedInner.resets || basePolicy.Resets() != tracedPolicy.Resets() {
+		t.Fatalf("tracing changed reset behaviour: inner %d vs %d, policy %d vs %d",
+			baseInner.resets, tracedInner.resets, basePolicy.Resets(), tracedPolicy.Resets())
+	}
+	if tracedPolicy.Resets() != 1 {
+		t.Fatalf("policy fired %d resets, want 1", tracedPolicy.Resets())
+	}
+	if got := tr.Len(); got != 1 {
+		t.Fatalf("tracer holds %d events, want exactly 1 reset instant", got)
+	}
+
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var reset map[string]any
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "reset" {
+			reset = e
+		}
+	}
+	if reset == nil {
+		t.Fatalf("no reset instant in trace: %s", b.String())
+	}
+	if reset["ph"] != "i" || reset["cat"] != "policy" {
+		t.Errorf("reset event shape = %v", reset)
+	}
+	args, _ := reset["args"].(map[string]any)
+	for _, key := range []string{"entropy", "baseline", "threshold", "algo"} {
+		if _, ok := args[key]; !ok {
+			t.Errorf("reset instant missing arg %q: %v", key, args)
+		}
+	}
+	entropy, _ := args["entropy"].(float64)
+	threshold, _ := args["threshold"].(float64)
+	if entropy <= threshold {
+		t.Errorf("attributed entropy %v not above threshold %v", entropy, threshold)
+	}
+}

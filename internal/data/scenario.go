@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"edgetta/internal/telemetry"
 	"edgetta/internal/tensor"
 )
 
@@ -257,6 +258,11 @@ type ScheduledStream struct {
 	rng *rand.Rand
 	sc  Scenario
 	pos int // samples emitted so far
+	// curPhase is the last phase a trace marker was emitted for (-1 before
+	// the first sample). Marker bookkeeping never touches the rng or the
+	// clock — telemetry.Instant stamps events inside the telemetry package
+	// — so traced and untraced streams are byte-identical.
+	curPhase int
 }
 
 // NewScheduledStream returns a stream playing the scenario from the seed.
@@ -265,7 +271,7 @@ func (g *Generator) NewScheduledStream(seed int64, sc Scenario) (*ScheduledStrea
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	return &ScheduledStream{gen: g, rng: rand.New(rand.NewSource(seed)), sc: sc}, nil
+	return &ScheduledStream{gen: g, rng: rand.New(rand.NewSource(seed)), sc: sc, curPhase: -1}, nil
 }
 
 // Scenario returns the schedule the stream plays.
@@ -295,7 +301,17 @@ func (s *ScheduledStream) Next(n int) (x *tensor.Tensor, labels []int, ok bool) 
 	x = tensor.New(n, 3, h, w)
 	labels = make([]int, n)
 	for i := 0; i < n; i++ {
-		p := s.sc.Phases[s.sc.PhaseAt(s.pos)]
+		pi := s.sc.PhaseAt(s.pos)
+		p := s.sc.Phases[pi]
+		if pi != s.curPhase {
+			s.curPhase = pi
+			if tr := telemetry.ActiveTracer(); tr != nil {
+				tr.Instant("scenario", "phase:"+p.Label(), 0,
+					telemetry.Arg{Key: "scenario", Value: s.sc.Name},
+					telemetry.Arg{Key: "phase", Value: pi},
+					telemetry.Arg{Key: "pos", Value: s.pos})
+			}
+		}
 		labels[i] = s.rng.Intn(NumClasses)
 		img := s.gen.Sample(s.rng, labels[i])
 		switch {

@@ -1,0 +1,48 @@
+package data
+
+import (
+	"testing"
+
+	"edgetta/internal/telemetry"
+)
+
+// TestScheduledStreamPhaseMarkers pins the tracing instrumentation: one
+// phase marker per phase entered, and marker bookkeeping must not change
+// stream content (traced and untraced runs are byte-identical).
+func TestScheduledStreamPhaseMarkers(t *testing.T) {
+	sc := rampSwitchMix()
+
+	// Baseline content with whatever tracer state the process has.
+	prior := telemetry.StopTracing()
+	defer func() {
+		if prior != nil {
+			telemetry.StartTracing()
+		}
+	}()
+	pixelsOff, labelsOff := materialize(t, 3, sc, 7)
+
+	tr := telemetry.StartTracing()
+	if tr == nil {
+		t.Fatal("StartTracing failed")
+	}
+	pixelsOn, labelsOn := materialize(t, 3, sc, 7)
+	telemetry.StopTracing()
+
+	if len(pixelsOff) != len(pixelsOn) {
+		t.Fatalf("pixel count %d vs %d", len(pixelsOff), len(pixelsOn))
+	}
+	for i := range pixelsOff {
+		if pixelsOff[i] != pixelsOn[i] {
+			t.Fatalf("traced stream diverges at pixel %d", i)
+		}
+	}
+	for i := range labelsOff {
+		if labelsOff[i] != labelsOn[i] {
+			t.Fatalf("traced stream diverges at label %d", i)
+		}
+	}
+	// rampSwitchMix has 4 phases; the stream enters each exactly once.
+	if got, want := tr.Len(), len(sc.Phases); got != want {
+		t.Fatalf("traced run emitted %d events, want %d phase markers", got, want)
+	}
+}

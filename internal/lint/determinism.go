@@ -17,7 +17,10 @@ import (
 //     order-insensitive by construction);
 //   - time.Now / time.Since outside profiler-gated code (an enclosing if
 //     whose condition names a prof* identifier, or the profiler's own
-//     file);
+//     file) — with internal/telemetry as the one sanctioned carve-out:
+//     that package owns the trace clock so instrumented packages never
+//     read it themselves, and it may not perturb outputs by contract
+//     (pinned by the tracing-parity tests);
 //   - package-global math/rand calls (process-shared source; thread a
 //     *rand.Rand instead);
 //   - `go` statements outside internal/parallel — the worker pool is the
@@ -36,7 +39,11 @@ var determinism = &Analyzer{
 // internal/data is included because stream content carries the same
 // bit-identical contract as the kernels: a seeded generator or scenario
 // schedule must never depend on map order, the clock, or shared rand.
-var determinismScope = []string{"internal/tensor", "internal/nn", "internal/parallel", "internal/data"}
+// internal/telemetry is included so its exposition stays deterministic
+// (no ranged-over maps, no shared rand) — but clock reads are sanctioned
+// there, and only there: telemetry owns the trace clock on behalf of the
+// instrumented packages.
+var determinismScope = []string{"internal/tensor", "internal/nn", "internal/parallel", "internal/data", "internal/telemetry"}
 
 func runDeterminism(p *Pass) {
 	path := p.Pkg.ImportPath
@@ -51,6 +58,9 @@ func runDeterminism(p *Pass) {
 		return
 	}
 	inPool := strings.Contains(path, "internal/parallel")
+	// The telemetry carve-out: clock reads are the package's job (span
+	// timestamps), so only the map/rand/goroutine rules bind there.
+	telemetryPkg := strings.Contains(path, "internal/telemetry")
 	info := p.Pkg.Info
 
 	for _, file := range p.Pkg.Files {
@@ -66,7 +76,7 @@ func runDeterminism(p *Pass) {
 					}
 				}
 			case *ast.CallExpr:
-				if isPkgFunc(info, n, "time", "Now", "Since") && !profFile && !within(gated, n) {
+				if isPkgFunc(info, n, "time", "Now", "Since") && !profFile && !telemetryPkg && !within(gated, n) {
 					p.Reportf(n.Pos(),
 						"clock read outside profiler-gated code makes kernel behavior time-dependent: gate it behind a prof* condition or justify it")
 				}

@@ -94,6 +94,13 @@ func TestDeterminismGolden(t *testing.T) {
 	runGolden(t, "determinism", "./testdata/src/determinism/internal/tensor")
 }
 
+// TestDeterminismTelemetryCarveout pins the telemetry clock carve-out:
+// bare time.Now/Since produce no finding in internal/telemetry, while the
+// map-order and global-rand rules still fire there.
+func TestDeterminismTelemetryCarveout(t *testing.T) {
+	runGolden(t, "determinism", "./testdata/src/determinism/internal/telemetry")
+}
+
 func TestCloneSafeGolden(t *testing.T) {
 	runGolden(t, "clonesafe", "./testdata/src/clonesafe")
 }

@@ -1,0 +1,48 @@
+// Package telemetry is a golden stand-in whose import path places it
+// inside the determinism analyzer's scope with the telemetry carve-out:
+// clock reads are sanctioned here (this package owns the trace clock on
+// behalf of the instrumented packages), but the map-order, global-rand,
+// and goroutine rules still bind.
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// stamp reads the wall clock with no prof* gate at all — sanctioned in
+// this package, a finding anywhere else in scope.
+func stamp(epoch time.Time) int64 {
+	return time.Since(epoch).Nanoseconds() + time.Now().UnixNano()
+}
+
+// renderUnsorted ranges a map for its values: still a finding here — the
+// carve-out covers the clock, not iteration order (exposition must be
+// deterministic).
+func renderUnsorted(m map[string]int64) int64 {
+	t := int64(0)
+	for _, v := range m { // want "map iteration order"
+		t += v
+	}
+	return t
+}
+
+// renderSorted is the sanctioned shape the real registry uses.
+func renderSorted(m map[string]int64) int64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	t := int64(0)
+	for _, k := range keys {
+		t += m[k]
+	}
+	return t
+}
+
+// jitter draws from the process-global source: still a finding here.
+func jitter() int64 {
+	return rand.Int63() // want "global math/rand"
+}

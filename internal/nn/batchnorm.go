@@ -157,7 +157,7 @@ func (b *BatchNorm2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		SavedElems: int64(len(b.xhat)),
 		Batch:      int64(n),
 	}
-	profEnd(KindBN, false, t0)
+	profEnd(KindBN, b.name, false, t0)
 	return y
 }
 
@@ -202,7 +202,7 @@ func (b *BatchNorm2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	})
-	profEnd(KindBN, true, t0)
+	profEnd(KindBN, b.name, true, t0)
 	return dx
 }
 

@@ -127,7 +127,7 @@ func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		SavedElems: int64(x.Numel()),
 		Batch:      int64(n),
 	}
-	profEnd(KindConv, false, t0)
+	profEnd(KindConv, c.name, false, t0)
 	return y
 }
 
@@ -247,7 +247,7 @@ func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		groups = n
 	}
 	if groups == 0 {
-		profEnd(KindConv, true, t0)
+		profEnd(KindConv, c.name, true, t0)
 		return dx
 	}
 	span := (n + groups - 1) / groups
@@ -326,6 +326,6 @@ func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			c.Weight.Grad[i] += v
 		}
 	}
-	profEnd(KindConv, true, t0)
+	profEnd(KindConv, c.name, true, t0)
 	return dx
 }

@@ -34,7 +34,7 @@ func (r *ReLU) Spec() Spec { return r.lastSpec }
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	t0 := profStart()
-	defer profEnd(KindAct, false, t0)
+	defer profEnd(KindAct, r.name, false, t0)
 	if cap(r.mask) < len(x.Data) {
 		r.mask = make([]bool, len(x.Data))
 	}
@@ -57,7 +57,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	t0 := profStart()
-	defer profEnd(KindAct, true, t0)
+	defer profEnd(KindAct, r.name, true, t0)
 	dx := tensor.New(grad.Shape()...)
 	for i, g := range grad.Data {
 		if r.mask[i] {
@@ -106,7 +106,7 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(shapeErr(l.name, x.Shape()))
 	}
 	t0 := profStart()
-	defer profEnd(KindLinear, false, t0)
+	defer profEnd(KindLinear, l.name, false, t0)
 	n := x.Dim(0)
 	l.input = x
 	y := tensor.New(n, l.Out)
@@ -127,7 +127,7 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements Layer.
 func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	t0 := profStart()
-	defer profEnd(KindLinear, true, t0)
+	defer profEnd(KindLinear, l.name, true, t0)
 	n := grad.Dim(0)
 	// dW += dYᵀ · X ; dB += column sums of dY ; dX = dY · W
 	tensor.MatMulTransAInto(l.Weight.Grad, grad.Data, l.input.Data, n, l.Out, l.In, true)
@@ -163,7 +163,7 @@ func (p *GlobalAvgPool) Spec() Spec { return p.lastSpec }
 // Forward implements Layer.
 func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	t0 := profStart()
-	defer profEnd(KindPool, false, t0)
+	defer profEnd(KindPool, p.name, false, t0)
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	p.h, p.w = h, w
 	y := tensor.New(n, c)
@@ -183,7 +183,7 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements Layer.
 func (p *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	t0 := profStart()
-	defer profEnd(KindPool, true, t0)
+	defer profEnd(KindPool, p.name, true, t0)
 	n, c := grad.Dim(0), grad.Dim(1)
 	plane := p.h * p.w
 	inv := 1 / float32(plane)

@@ -4,6 +4,9 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"edgetta/internal/parallel"
+	"edgetta/internal/telemetry"
 )
 
 // This file implements the runtime profiler the study's methodology is
@@ -11,6 +14,15 @@ import (
 // when enabled, every layer records the wall time of its Forward and
 // Backward calls, aggregated by layer kind. Disabled, the instrumentation
 // is a nil check per layer call.
+//
+// The same hooks feed the telemetry span tracer: while a tracer is active
+// (telemetry.StartTracing / EDGETTA_TRACE=1), every layer Forward/Backward
+// becomes a Chrome trace-event span named "<kind>.fw"/"<kind>.bw" with the
+// layer name attached, and the packed conv path's layout-conversion time
+// appears as contained "pack" spans annotated with the pool width. Either
+// consumer — aggregate profiler or tracer — turns the hooks on; both read
+// the clock only in this file (exempt from ttalint's determinism scope by
+// the *profiler* filename carve-out) and in internal/telemetry.
 //
 // Attribution with the pooled scheduler: layers execute their parallel
 // loops fork-join through internal/parallel, and the join happens before
@@ -97,36 +109,51 @@ func StopProfiling() PhaseTotals {
 	return t
 }
 
-// profStart returns the start time when profiling is active, else the zero
-// time. Layers call it at the top of Forward/Backward.
+// profStart returns the start time when any timing consumer (aggregate
+// profiler or span tracer) is active, else the zero time. Layers call it
+// at the top of Forward/Backward.
 func profStart() time.Time {
-	profMu.Lock()
-	active := profCur != nil
-	profMu.Unlock()
-	if !active {
+	if !profActive() {
 		return time.Time{}
 	}
 	return time.Now()
 }
 
-// profActive reports whether a collection is running. Layers use it to
-// skip fine-grained sub-measurements (pack vs compute attribution) when
-// nobody is listening.
+// profActive reports whether any timing consumer is listening. Layers use
+// it to skip fine-grained sub-measurements (pack vs compute attribution)
+// when nobody is.
 func profActive() bool {
+	if telemetry.ActiveTracer() != nil {
+		return true
+	}
 	profMu.Lock()
 	active := profCur != nil
 	profMu.Unlock()
 	return active
 }
 
+// spanName renders a kind and direction as a trace span name.
+func spanName(kind Kind, backward bool) string {
+	if backward {
+		return kind.String() + ".bw"
+	}
+	return kind.String() + ".fw"
+}
+
 // profAdd credits dt seconds to a kind directly, without a surrounding
 // interval. The conv layer uses it to attribute layout pack/unpack time
 // (KindPack) separately from kernel compute; the seconds are summed
 // across pool workers, so the split is exact at one worker and
-// CPU-time-like above.
+// CPU-time-like above. With a tracer active it also emits a span ending
+// now, annotated with the pool width the sum ran across.
 func profAdd(kind Kind, backward bool, dt float64) {
 	if dt == 0 {
 		return
+	}
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		d := time.Duration(dt * float64(time.Second))
+		tr.Complete("nn", spanName(kind, backward), 0, time.Now().Add(-d), d,
+			telemetry.Arg{Key: "workers", Value: parallel.Workers()})
 	}
 	profMu.Lock()
 	c := profCur
@@ -145,25 +172,31 @@ func profAdd(kind Kind, backward bool, dt float64) {
 	}
 }
 
-// profEnd records a completed phase.
-func profEnd(kind Kind, backward bool, t0 time.Time) {
+// profEnd records a completed phase against the aggregate totals and, when
+// a tracer is active, as a trace span carrying the layer's name.
+func profEnd(kind Kind, name string, backward bool, t0 time.Time) {
 	if t0.IsZero() {
 		return
 	}
-	dt := time.Since(t0).Seconds()
+	dt := time.Since(t0)
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		tr.Complete("nn", spanName(kind, backward), 0, t0, dt,
+			telemetry.Arg{Key: "layer", Value: name})
+	}
 	profMu.Lock()
 	c := profCur
 	profMu.Unlock()
 	if c == nil {
 		return
 	}
+	sec := dt.Seconds()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if backward {
-		c.totals.BwSeconds[kind] += dt
+		c.totals.BwSeconds[kind] += sec
 		c.totals.BwCalls[kind]++
 	} else {
-		c.totals.FwSeconds[kind] += dt
+		c.totals.FwSeconds[kind] += sec
 		c.totals.FwCalls[kind]++
 	}
 }

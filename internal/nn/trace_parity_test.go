@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgetta/internal/telemetry"
+	"edgetta/internal/tensor"
+)
+
+// buildParityNet constructs a small conv/BN/ReLU stack with deterministic
+// weights for the tracing-parity check.
+func buildParityNet(seed int64) *Sequential {
+	rng := rand.New(rand.NewSource(seed))
+	return NewSequential("parity",
+		NewConv2d("conv1", rng, 3, 8, 3, 1, 1, 1),
+		NewBatchNorm2d("bn1", 8),
+		NewReLU("relu1"),
+		NewConv2d("conv2", rng, 8, 8, 3, 1, 1, 1),
+		NewBatchNorm2d("bn2", 8),
+		NewReLU("relu2"),
+	)
+}
+
+func parityInput(seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(2, 3, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	return x
+}
+
+func runParityPass(t *testing.T) (out, dx []float32, grads [][]float32) {
+	t.Helper()
+	net := buildParityNet(7)
+	x := parityInput(11)
+	y := net.Forward(x, true)
+	g := tensor.New(y.Shape()...)
+	for i := range g.Data {
+		g.Data[i] = float32(i%13) * 0.01
+	}
+	d := net.Backward(g)
+	for _, p := range CollectParams(net) {
+		grads = append(grads, append([]float32(nil), p.Grad...))
+	}
+	return append([]float32(nil), y.Data...), append([]float32(nil), d.Data...), grads
+}
+
+// TestTracingDoesNotPerturbOutputs pins the telemetry contract: enabling
+// the span tracer must leave forward outputs, input gradients, and weight
+// gradients byte-identical.
+func TestTracingDoesNotPerturbOutputs(t *testing.T) {
+	// Clear any tracer installed by EDGETTA_TRACE=1 so the baseline pass
+	// really runs untraced; the CI parity arm re-enables it for the whole
+	// suite, which exercises the reverse direction.
+	prior := telemetry.StopTracing()
+	defer func() {
+		if prior != nil {
+			telemetry.StartTracing()
+		}
+	}()
+
+	outOff, dxOff, gradsOff := runParityPass(t)
+
+	tr := telemetry.StartTracing()
+	if tr == nil {
+		t.Fatal("StartTracing failed")
+	}
+	outOn, dxOn, gradsOn := runParityPass(t)
+	telemetry.StopTracing()
+
+	if tr.Len() == 0 {
+		t.Fatal("traced pass emitted no spans")
+	}
+
+	cmp := func(name string, a, b []float32) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+				t.Fatalf("%s: byte divergence at %d: %x vs %x", name, i,
+					math.Float32bits(a[i]), math.Float32bits(b[i]))
+			}
+		}
+	}
+	cmp("forward output", outOff, outOn)
+	cmp("input gradient", dxOff, dxOn)
+	if len(gradsOff) != len(gradsOn) {
+		t.Fatalf("param count %d vs %d", len(gradsOff), len(gradsOn))
+	}
+	for i := range gradsOff {
+		cmp("param grad", gradsOff[i], gradsOn[i])
+	}
+}

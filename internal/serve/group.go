@@ -2,12 +2,41 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"edgetta/internal/core"
+	"edgetta/internal/telemetry"
 	"edgetta/internal/tensor"
 )
+
+// groupMetrics is a group's registered telemetry handles, nil when the
+// server was built without a Registry — every update site is a single nil
+// check in that case.
+type groupMetrics struct {
+	queueDepth    *telemetry.Gauge   // current pending requests
+	pendingImages *telemetry.Gauge   // image total of the pending queue
+	openStreams   *telemetry.Gauge   // streams currently open
+	requests      *telemetry.Counter // lifetime requests served
+	images        *telemetry.Counter // lifetime images served
+	batches       *telemetry.Counter // lifetime Process calls
+	coalesced     *telemetry.Counter // lifetime requests served in shared Process calls
+}
+
+// newGroupMetrics registers the group's metrics under its key label.
+func newGroupMetrics(reg *telemetry.Registry, key GroupKey) *groupMetrics {
+	l := []string{"group", key.String()}
+	return &groupMetrics{
+		queueDepth:    reg.Gauge("edgetta_serve_queue_depth", l...),
+		pendingImages: reg.Gauge("edgetta_serve_pending_images", l...),
+		openStreams:   reg.Gauge("edgetta_serve_open_streams", l...),
+		requests:      reg.Counter("edgetta_serve_requests_total", l...),
+		images:        reg.Counter("edgetta_serve_images_total", l...),
+		batches:       reg.Counter("edgetta_serve_batches_total", l...),
+		coalesced:     reg.Counter("edgetta_serve_coalesced_requests_total", l...),
+	}
+}
 
 // replica is one shared model instance: a deep clone of the group's model
 // wrapped in its adapter. A replica processes one batch at a time; its
@@ -90,9 +119,14 @@ type group struct {
 	batches      int // Process calls
 	requests     int
 	images       int
+	coalesced    int // requests that shared a Process call with others
 	maxCoalesced int
 	batchHist    *core.LatencyHist // service time per Process call
 	e2eHist      *core.LatencyHist // submit-to-response time per request
+
+	// met holds the group's registry handles; nil when the server was
+	// configured without a telemetry registry.
+	met *groupMetrics
 }
 
 func (g *group) openStream() *Stream {
@@ -104,6 +138,9 @@ func (g *group) openStream() *Stream {
 		st.state = g.initial
 	}
 	g.streams[st.id] = st
+	if g.met != nil {
+		g.met.openStreams.Set(int64(len(g.streams)))
+	}
 	return &Stream{g: g, st: st}
 }
 
@@ -147,9 +184,20 @@ func (g *group) submit(st *streamState, x *tensor.Tensor) <-chan Response {
 	if len(g.pending) > g.queueMax {
 		g.queueMax = len(g.pending)
 	}
+	g.updateQueueGauges()
 	g.cond.Broadcast()
 	g.mu.Unlock()
 	return resp
+}
+
+// updateQueueGauges publishes the queue's current shape. Callers hold
+// g.mu; the gauge writes are two atomic stores.
+func (g *group) updateQueueGauges() {
+	if g.met == nil {
+		return
+	}
+	g.met.queueDepth.Set(int64(len(g.pending)))
+	g.met.pendingImages.Set(int64(g.pendingImages))
 }
 
 func shapeOf(x *tensor.Tensor) []int {
@@ -192,6 +240,7 @@ func (g *group) take() []*request {
 					req.st.inflight = true
 					g.pending = append(g.pending[:i], g.pending[i+1:]...)
 					g.pendingImages -= req.n
+					g.updateQueueGauges()
 					g.cond.Broadcast() // queue space freed
 					return []*request{req}
 				}
@@ -233,6 +282,7 @@ func (g *group) take() []*request {
 			}
 		}
 		g.pendingImages -= taken
+		g.updateQueueGauges()
 		g.cond.Broadcast() // queue space freed
 		return batch
 	}
@@ -277,6 +327,21 @@ func (g *group) run(r *replica, reqs []*request) {
 	}
 	service := time.Since(start)
 
+	// Trace the dispatch: one span per Process call on the replica's
+	// timeline, plus one queue-wait span per request on its stream's
+	// timeline — together they render the enqueue→dispatch→process life of
+	// every request in the trace viewer.
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		tr.Complete("serve", "process:"+g.key.String(), r.id, start, service,
+			telemetry.Arg{Key: "requests", Value: len(reqs)},
+			telemetry.Arg{Key: "images", Value: n})
+		for _, req := range reqs {
+			tr.Complete("serve", "queue", 1000+req.st.id, req.enq, start.Sub(req.enq),
+				telemetry.Arg{Key: "stream", Value: req.st.id},
+				telemetry.Arg{Key: "images", Value: req.n})
+		}
+	}
+
 	// Update metrics (and release the stream's in-flight slot) before
 	// delivering responses, so a client that calls Stats right after
 	// receiving its response always sees its own request counted.
@@ -285,8 +350,19 @@ func (g *group) run(r *replica, reqs []*request) {
 	g.batches++
 	g.requests += len(reqs)
 	g.images += n
+	if len(reqs) > 1 {
+		g.coalesced += len(reqs)
+	}
 	if n > g.maxCoalesced {
 		g.maxCoalesced = n
+	}
+	if g.met != nil {
+		g.met.batches.Inc()
+		g.met.requests.Add(int64(len(reqs)))
+		g.met.images.Add(int64(n))
+		if len(reqs) > 1 {
+			g.met.coalesced.Add(int64(len(reqs)))
+		}
 	}
 	g.batchHist.Observe(service)
 	for _, req := range reqs {
@@ -334,18 +410,29 @@ type GroupStats struct {
 	// submissions they served. MeanCoalesced = Images/Batches is the
 	// effective batching factor.
 	Batches, Requests, Images int
-	MaxCoalesced              int
-	MeanCoalesced             float64
-	// MaxQueueDepth is the peak pending-queue length (bounded by QueueCap).
+	// Coalesced is the lifetime count of requests that shared a Process
+	// call with at least one other request.
+	Coalesced     int
+	MaxCoalesced  int
+	MeanCoalesced float64
+	// QueueDepth is the pending-queue length at snapshot time;
+	// MaxQueueDepth its lifetime peak (bounded by QueueCap).
+	QueueDepth    int
+	PendingImages int
 	MaxQueueDepth int
 	// Service is per-Process wall time; E2E is per-request submit-to-
 	// response time (queue wait + service).
 	Service, E2E core.LatencySummary
+	// Streams snapshots every open stream, ascending by ID.
+	Streams []StreamStats
 }
 
+// stats snapshots the group. The group lock covers only the plain-field
+// copy; percentile computation (which sorts up to a full histogram window)
+// runs after release, against the internally locked histograms, so a slow
+// scrape never stalls the dispatch path.
 func (g *group) stats() GroupStats {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	s := GroupStats{
 		Key:           g.key,
 		Replicas:      len(g.replicas),
@@ -353,13 +440,34 @@ func (g *group) stats() GroupStats {
 		Batches:       g.batches,
 		Requests:      g.requests,
 		Images:        g.images,
+		Coalesced:     g.coalesced,
 		MaxCoalesced:  g.maxCoalesced,
+		QueueDepth:    len(g.pending),
+		PendingImages: g.pendingImages,
 		MaxQueueDepth: g.queueMax,
-		Service:       g.batchHist.Summary(),
-		E2E:           g.e2eHist.Summary(),
 	}
+	type streamRef struct {
+		ss  StreamStats
+		e2e *core.LatencyHist
+	}
+	refs := make([]streamRef, 0, len(g.streams))
+	for _, st := range g.streams {
+		refs = append(refs, streamRef{
+			ss:  StreamStats{ID: st.id, Requests: st.requests, Images: st.images},
+			e2e: &st.e2e,
+		})
+	}
+	g.mu.Unlock()
+
+	s.Service = g.batchHist.Summary()
+	s.E2E = g.e2eHist.Summary()
 	if s.Batches > 0 {
 		s.MeanCoalesced = float64(s.Images) / float64(s.Batches)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].ss.ID < refs[j].ss.ID })
+	for _, r := range refs {
+		r.ss.E2E = r.e2e.Summary()
+		s.Streams = append(s.Streams, r.ss)
 	}
 	return s
 }

@@ -47,12 +47,14 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"edgetta/internal/core"
 	"edgetta/internal/models"
 	"edgetta/internal/parallel"
+	"edgetta/internal/telemetry"
 )
 
 // Errors reported through Response.Err or returned by Server methods.
@@ -85,6 +87,12 @@ type Config struct {
 	// QueueCap bounds each group's pending request queue; Submit blocks
 	// while the queue is full (backpressure). Default 64.
 	QueueCap int
+	// Registry, when non-nil, receives each group's serving metrics
+	// (queue depth, pending images, open streams, lifetime request/image/
+	// batch/coalesced counts, service and e2e latency histograms) labeled
+	// by group key. Nil disables metric publication entirely; every update
+	// site is then a single nil check.
+	Registry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +158,11 @@ func (s *Server) AddGroup(m *models.Model, algo core.Algorithm, acfg core.Config
 		e2eHist:   &core.LatencyHist{},
 	}
 	g.cond = sync.NewCond(&g.mu)
+	if reg := s.cfg.Registry; reg != nil {
+		g.met = newGroupMetrics(reg, key)
+		reg.RegisterHist("edgetta_serve_service_seconds", g.batchHist, "group", key.String())
+		reg.RegisterHist("edgetta_serve_e2e_seconds", g.e2eHist, "group", key.String())
+	}
 	for i := 0; i < replicas; i++ {
 		a, err := core.New(algo, m.Clone(), acfg)
 		if err != nil {
@@ -232,4 +245,23 @@ func (s *Server) GroupStats(key GroupKey) (GroupStats, error) {
 		return GroupStats{}, fmt.Errorf("serve: no group %s", key)
 	}
 	return g.stats(), nil
+}
+
+// Stats snapshots every group, sorted by key — the payload behind
+// ttaserve's /debug/streams endpoint.
+func (s *Server) Stats() []GroupStats {
+	s.mu.Lock()
+	groups := make([]*group, 0, len(s.groups))
+	for _, g := range s.groups {
+		groups = append(groups, g)
+	}
+	s.mu.Unlock()
+	sort.Slice(groups, func(i, j int) bool {
+		return groups[i].key.String() < groups[j].key.String()
+	})
+	out := make([]GroupStats, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g.stats())
+	}
+	return out
 }

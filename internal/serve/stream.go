@@ -32,15 +32,19 @@ func (s *Stream) Process(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return r.Logits, r.Err
 }
 
-// Stats reports the stream's serving metrics so far.
+// Stats reports the stream's serving metrics so far. The group lock
+// covers only the counter copy; the percentile summary is computed
+// against the internally locked histogram after release.
 func (s *Stream) Stats() StreamStats {
 	s.g.mu.Lock()
-	defer s.g.mu.Unlock()
-	return StreamStats{
+	ss := StreamStats{
+		ID:       s.st.id,
 		Requests: s.st.requests,
 		Images:   s.st.images,
-		E2E:      s.st.e2e.Summary(),
 	}
+	s.g.mu.Unlock()
+	ss.E2E = s.st.e2e.Summary()
+	return ss
 }
 
 // Close ends the episode: later Submits fail with ErrStreamClosed and the
@@ -50,12 +54,16 @@ func (s *Stream) Close() {
 	s.g.mu.Lock()
 	s.st.closed = true
 	delete(s.g.streams, s.st.id)
+	if s.g.met != nil {
+		s.g.met.openStreams.Set(int64(len(s.g.streams)))
+	}
 	s.g.cond.Broadcast()
 	s.g.mu.Unlock()
 }
 
 // StreamStats summarizes one stream's served requests.
 type StreamStats struct {
+	ID       int
 	Requests int
 	Images   int
 	// E2E is the submit-to-response latency distribution.

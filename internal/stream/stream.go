@@ -8,7 +8,11 @@
 // for tight deadlines" (Sec. IV-E).
 package stream
 
-import "fmt"
+import (
+	"fmt"
+
+	"edgetta/internal/telemetry"
+)
 
 // Config describes one streaming deployment.
 type Config struct {
@@ -86,6 +90,13 @@ type arrival struct {
 func simulate(c Config, arrivals []arrival, simEnd float64) Result {
 	var res Result
 
+	// With a tracer active, each served batch becomes a span on the
+	// simulated timeline (CompleteAt with simulated microseconds — the
+	// simulator never reads the wall clock) and each drop an instant
+	// marker, so the viewer shows the queueing structure behind a miss
+	// rate. Purely observational: the event loop is unchanged.
+	tr := telemetry.ActiveTracer()
+
 	procFree := 0.0 // time the processor becomes free
 	busy := 0.0
 	queueDepth := 0
@@ -109,6 +120,12 @@ func simulate(c Config, arrivals []arrival, simEnd float64) Result {
 		if lat > c.DeadlineSeconds {
 			res.DeadlineMisses++
 		}
+		if tr != nil {
+			tr.CompleteAt("simstream", "batch", 0, int64(start*1e6), int64(b.service*1e6),
+				telemetry.Arg{Key: "frames", Value: b.frames},
+				telemetry.Arg{Key: "latency_s", Value: lat},
+				telemetry.Arg{Key: "miss", Value: lat > c.DeadlineSeconds})
+		}
 	}
 	for _, a := range arrivals {
 		// Drain any queued batches that start before this one is ready.
@@ -127,6 +144,10 @@ func simulate(c Config, arrivals []arrival, simEnd float64) Result {
 		if c.QueueCap > 0 && queueDepth >= c.QueueCap {
 			res.Dropped++
 			res.FramesDropped += a.frames
+			if tr != nil {
+				tr.InstantAt("simstream", "drop", 0, int64(a.ready*1e6),
+					telemetry.Arg{Key: "frames", Value: a.frames})
+			}
 			continue
 		}
 		queue = append(queue, a)

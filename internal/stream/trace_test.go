@@ -1,0 +1,71 @@
+package stream
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"edgetta/internal/telemetry"
+)
+
+// TestSimulateTraceIsObservational pins two things: the simulator's Result
+// is identical with and without a tracer (events are pure observation of
+// the same schedule), and the emitted spans sit on the simulated timeline,
+// not the wall clock.
+func TestSimulateTraceIsObservational(t *testing.T) {
+	c := Config{
+		FPS: 10, BatchSize: 10, ServiceSeconds: 1.5, DeadlineSeconds: 2,
+		TotalFrames: 100, QueueCap: 2, PowerBusyW: 5, PowerIdleW: 1,
+	}
+
+	prior := telemetry.StopTracing()
+	defer func() {
+		if prior != nil {
+			telemetry.StartTracing()
+		}
+	}()
+	base, err := Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := telemetry.StartTracing()
+	traced, err := Simulate(c)
+	telemetry.StopTracing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != traced {
+		t.Fatalf("tracing changed the simulation:\nbase   %+v\ntraced %+v", base, traced)
+	}
+	if got, want := tr.Len(), base.Batches+base.Dropped; got != want {
+		t.Fatalf("%d trace events, want %d (batches %d + drops %d)",
+			got, want, base.Batches, base.Dropped)
+	}
+
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// First served batch is ready at t=1s and served immediately: its span
+	// must start at exactly 1e6 simulated microseconds with the service
+	// duration — values a wall-clock stamp could never reproduce.
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "batch" && e["ts"].(float64) == 1e6 {
+			found = true
+			if dur := e["dur"].(float64); dur != 1.5e6 {
+				t.Fatalf("first batch dur = %v µs, want 1.5e6", dur)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no batch span at simulated t=1s")
+	}
+}

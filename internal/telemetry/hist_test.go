@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	s := h.Summary()
+	if s.Count != 0 || s.P50 != 0 || s.Max != 0 {
+		t.Fatalf("empty summary = %+v, want zeros", s)
+	}
+	if got := s.String(); got != "no samples" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestHistPercentiles(t *testing.T) {
+	var h Hist
+	// 1..100ms: nearest-rank percentiles are exact.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Errorf("P50 = %v, want 50ms", s.P50)
+	}
+	if s.P95 != 95*time.Millisecond {
+		t.Errorf("P95 = %v, want 95ms", s.P95)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Errorf("P99 = %v, want 99ms", s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("Max = %v, want 100ms", s.Max)
+	}
+	if want := 50500 * time.Microsecond; s.Mean != want {
+		t.Errorf("Mean = %v, want %v", s.Mean, want)
+	}
+}
+
+// TestHistWraparound drives the ring past HistWindow and checks that Count
+// reports the lifetime total while percentiles reflect only the retained
+// window (the most recent HistWindow observations).
+func TestHistWraparound(t *testing.T) {
+	var h Hist
+	n := HistWindow + HistWindow/2
+	for i := 1; i <= n; i++ {
+		h.Observe(time.Duration(i))
+	}
+	s := h.Summary()
+	if s.Count != n {
+		t.Fatalf("Count = %d, want lifetime %d", s.Count, n)
+	}
+	// Window holds values n-HistWindow+1 .. n.
+	lo, hi := time.Duration(n-HistWindow+1), time.Duration(n)
+	if s.Max != hi {
+		t.Errorf("Max = %v, want %v", s.Max, hi)
+	}
+	// Nearest-rank p50 over a contiguous run lo..hi.
+	wantP50 := lo + time.Duration(HistWindow/2-1)
+	if s.P50 != wantP50 {
+		t.Errorf("P50 = %v, want %v", s.P50, wantP50)
+	}
+	if len(h.samples) != HistWindow {
+		t.Errorf("retained %d samples, want %d", len(h.samples), HistWindow)
+	}
+	// The evicted oldest values must be gone from the window.
+	min := s.Max
+	h.mu.Lock()
+	for _, d := range h.samples {
+		if d < min {
+			min = d
+		}
+	}
+	h.mu.Unlock()
+	if min != lo {
+		t.Errorf("window min = %v, want %v", min, lo)
+	}
+}
+
+// TestHistSummaryMemoized pins the satellite fix: repeated Summary calls
+// with no intervening Observe must not copy or re-sort the window.
+func TestHistSummaryMemoized(t *testing.T) {
+	var h Hist
+	for i := 0; i < HistWindow; i++ {
+		h.Observe(time.Duration(i))
+	}
+	h.Summary() // populate memo and scratch
+	allocs := testing.AllocsPerRun(100, func() { h.Summary() })
+	if allocs != 0 {
+		t.Fatalf("idle Summary allocates %.1f objects per call, want 0", allocs)
+	}
+	first := h.Summary()
+	h.Observe(time.Hour) // invalidate
+	second := h.Summary()
+	if second == first {
+		t.Fatal("Summary not recomputed after Observe")
+	}
+	if second.Max != time.Hour {
+		t.Fatalf("Max = %v after observing 1h", second.Max)
+	}
+}
+
+func TestHistSingleSample(t *testing.T) {
+	var h Hist
+	h.Observe(7 * time.Millisecond)
+	s := h.Summary()
+	if s.Count != 1 || s.P50 != 7*time.Millisecond || s.P99 != 7*time.Millisecond || s.Max != 7*time.Millisecond {
+		t.Fatalf("single-sample summary = %+v", s)
+	}
+}

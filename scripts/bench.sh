@@ -2,8 +2,10 @@
 # scripts/bench.sh — record a benchmark baseline for this repository.
 #
 # Runs the tier-1 real-execution benchmarks at a pinned worker count and
-# writes the best-of-N results as JSON (default BENCH_7.json), so each PR
-# can leave a comparable perf datapoint next to the code it changed.
+# writes the best-of-N results as JSON (default BENCH_8.json), so each PR
+# can leave a comparable perf datapoint next to the code it changed. The
+# traced WRN forward records the telemetry overhead next to its untraced
+# twin; their ratio is the enabled-tracing cost on a real workload.
 #
 # Usage: scripts/bench.sh [out.json]
 #   EDGETTA_WORKERS  pool width to pin (default 1 — the 1-core dev box)
@@ -12,11 +14,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_8.json}"
 WORKERS="${EDGETTA_WORKERS:-1}"
 COUNT="${BENCH_COUNT:-3}"
 TIME="${BENCH_TIME:-5x}"
-PATTERN='^(BenchmarkConv3x3Forward|BenchmarkConv3x3ForwardIm2Col|BenchmarkConv3x3ForwardFMA|BenchmarkConv1x1Forward|BenchmarkMatMul256|BenchmarkFullScaleWRNForward|BenchmarkInferenceRepro|BenchmarkBNNormRepro|BenchmarkBNOptRepro|BenchmarkScenarioStream)$'
+PATTERN='^(BenchmarkConv3x3Forward|BenchmarkConv3x3ForwardIm2Col|BenchmarkConv3x3ForwardFMA|BenchmarkConv1x1Forward|BenchmarkMatMul256|BenchmarkFullScaleWRNForward|BenchmarkFullScaleWRNForwardTraced|BenchmarkInferenceRepro|BenchmarkBNNormRepro|BenchmarkBNOptRepro|BenchmarkScenarioStream)$'
 
 RAW="$(EDGETTA_WORKERS="$WORKERS" go test -run=NONE -bench="$PATTERN" -benchtime="$TIME" -count="$COUNT" .)"
 printf '%s\n' "$RAW"
