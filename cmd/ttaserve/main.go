@@ -10,17 +10,22 @@
 //	ttaserve -algo noadapt -maxbatch 128 -linger 2ms     # coalescing path
 //	ttaserve -train                                      # robust-train first
 //	ttaserve -http :8080 -hold 1m                        # observability endpoints
+//	ttaserve -http :8080 -streams 0                      # serve-only (wire API)
+//	ttaserve -http :8080 -streams 0 -scale 1:8 -admission shed
 //
-// With -http, the server exposes /metrics (Prometheus text; ?format=json
-// for JSON), /debug/streams (per-group and per-stream stats as JSON), and
+// With -http, the server exposes the serving wire API (POST /v1/streams,
+// POST /v1/streams/{session}/submit, DELETE /v1/streams/{session} — see
+// internal/serve/httpapi) alongside /metrics (Prometheus text; ?format=json
+// for JSON), /debug/streams (the server-wide serve.Snapshot as JSON), and
 // /debug/trace (records a Chrome trace for ?sec= seconds and streams it
-// back). -hold keeps the process serving after the workload finishes so
-// the endpoints can be scraped; -trace writes a Chrome trace of the whole
-// workload to a file.
+// back). -streams 0 skips the built-in workload and serves remote sessions
+// only, until -hold elapses (forever if 0). -hold keeps the process serving
+// after a local workload finishes so the endpoints can be scraped; -trace
+// writes a Chrome trace of the whole workload to a file.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -36,6 +41,7 @@ import (
 	"edgetta/internal/models"
 	"edgetta/internal/parallel"
 	"edgetta/internal/serve"
+	"edgetta/internal/serve/httpapi"
 	"edgetta/internal/telemetry"
 	"edgetta/internal/train"
 )
@@ -43,7 +49,7 @@ import (
 func main() {
 	modelTag := flag.String("model", "WRN-AM", "model tag (RXT-AM, WRN-AM, R18-AM-AT, MBV2)")
 	algoName := flag.String("algo", "bnnorm", "adaptation algorithm (noadapt, bnnorm, bnopt)")
-	nStreams := flag.Int("streams", 8, "concurrent corruption streams")
+	nStreams := flag.Int("streams", 8, "concurrent corruption streams (0 = serve-only: no local workload)")
 	samples := flag.Int("samples", 200, "samples per stream")
 	batch := flag.Int("batch", 16, "per-stream adaptation batch size")
 	severity := flag.Int("severity", 3, "corruption severity 1..5")
@@ -51,9 +57,13 @@ func main() {
 	maxBatch := flag.Int("maxbatch", 128, "max images coalesced into one Process call (stateless algos)")
 	linger := flag.Duration("linger", 2*time.Millisecond, "max wait to gather an under-full batch")
 	queueCap := flag.Int("queuecap", 64, "pending request bound (backpressure)")
+	admission := flag.String("admission", "block", "full-queue policy: block (wait) or shed (reject with 429/ErrOverloaded)")
+	scaleRange := flag.String("scale", "", "autoscale the replica pool within min:max (e.g. 1:8; empty = fixed pool)")
+	scaleEvery := flag.Duration("scale-interval", 250*time.Millisecond, "autoscale evaluation period")
+	timeout := flag.Duration("timeout", 30*time.Second, "server-side deadline per wire-API submit")
 	workers := flag.Int("workers", 0, "parallel pool width (0 = GOMAXPROCS)")
 	doTrain := flag.Bool("train", false, "robust-train the repro-scale model first (slower, meaningful error rates)")
-	httpAddr := flag.String("http", "", "serve /metrics, /debug/streams and /debug/trace on this address (empty = off)")
+	httpAddr := flag.String("http", "", "serve the wire API, /metrics, /debug/streams and /debug/trace on this address (empty = off)")
 	hold := flag.Duration("hold", 0, "keep serving the HTTP endpoints this long after the workload finishes")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the workload to this file")
 	flag.Parse()
@@ -61,7 +71,7 @@ func main() {
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}
-	algo, err := parseAlgo(*algoName)
+	algo, err := core.ParseAlgorithm(*algoName)
 	if err != nil {
 		fatal(err)
 	}
@@ -69,6 +79,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cfg := serve.Config{MaxBatch: *maxBatch, MaxLinger: *linger, QueueCap: *queueCap}
+	switch *admission {
+	case "block":
+		cfg.Admission = serve.AdmitBlock
+	case "shed":
+		cfg.Admission = serve.AdmitShed
+	default:
+		fatal(fmt.Errorf("unknown -admission %q (want block or shed)", *admission))
+	}
+	if *scaleRange != "" {
+		min, max, err := parseScaleRange(*scaleRange)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Autoscale = serve.Autoscale{Enabled: true, Min: min, Max: max, Interval: *scaleEvery}
+	}
+	if *nStreams == 0 && *httpAddr == "" {
+		fatal(fmt.Errorf("-streams 0 (serve-only) requires -http"))
+	}
+
 	gen := data.NewGenerator(2024)
 	if *doTrain {
 		fmt.Printf("robust-training %s (repro scale)...\n", m.Name)
@@ -77,7 +107,8 @@ func main() {
 
 	reg := telemetry.NewRegistry()
 	reg.GaugeFunc("edgetta_pool_workers", func() float64 { return float64(parallel.Workers()) })
-	srv := serve.New(serve.Config{MaxBatch: *maxBatch, MaxLinger: *linger, QueueCap: *queueCap, Registry: reg})
+	cfg.Registry = reg
+	srv := serve.New(cfg)
 	defer srv.Close()
 
 	if *httpAddr != "" {
@@ -85,8 +116,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("observability: http://%s/metrics /debug/streams /debug/trace\n", ln.Addr())
-		go http.Serve(ln, buildMux(reg, srv))
+		fmt.Printf("wire API + observability: http://%s/v1/streams /metrics /debug/streams /debug/trace\n", ln.Addr())
+		go http.Serve(ln, buildMux(reg, srv, httpapi.Config{Timeout: *timeout}))
 	}
 
 	var workloadTrace *telemetry.Tracer
@@ -99,14 +130,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	stats, _ := srv.GroupStats(key)
-	fmt.Printf("serving %s: %d replicas (stateful=%v), pool width %d, maxbatch %d, linger %v\n\n",
-		key, stats.Replicas, stats.Stateful, parallel.Workers(), *maxBatch, *linger)
+	snap, _ := srv.GroupSnapshot(key)
+	fmt.Printf("serving %s: %d replicas (stateful=%v), pool width %d, maxbatch %d, linger %v, admission %s",
+		key, snap.Replicas, snap.Stateful, parallel.Workers(), *maxBatch, *linger, *admission)
+	if snap.MaxReplicas > 0 {
+		fmt.Printf(", autoscale %d:%d", snap.MinReplicas, snap.MaxReplicas)
+	}
+	fmt.Printf("\n\n")
+
+	if *nStreams == 0 {
+		holdOpen(*hold)
+		return
+	}
 
 	type streamReport struct {
 		corruption data.Corruption
 		errRate    float64
-		stats      serve.StreamStats
+		stats      serve.StreamSnapshot
 	}
 	reports := make([]streamReport, *nStreams)
 	start := time.Now()
@@ -127,7 +167,7 @@ func main() {
 				if !ok {
 					break
 				}
-				logits, err := st.Process(x)
+				logits, err := st.ProcessCtx(context.Background(), x)
 				if err != nil {
 					fatal(err)
 				}
@@ -138,7 +178,7 @@ func main() {
 				}
 				seen += len(labels)
 			}
-			r := streamReport{corruption: c, stats: st.Stats()}
+			r := streamReport{corruption: c, stats: st.Snapshot()}
 			if seen > 0 {
 				r.errRate = 1 - float64(correct)/float64(seen)
 			}
@@ -158,14 +198,20 @@ func main() {
 			r.stats.E2E.P99.Round(time.Microsecond))
 	}
 
-	stats, _ = srv.GroupStats(key)
+	snap, _ = srv.GroupSnapshot(key)
 	totalImages := *nStreams * *samples
 	fmt.Printf("\naggregate: %d images in %v = %.1f img/s\n",
 		totalImages, wall.Round(time.Millisecond), float64(totalImages)/wall.Seconds())
 	fmt.Printf("batching:  %d requests -> %d Process calls (mean %.1f img/call, max %d), peak queue %d\n",
-		stats.Requests, stats.Batches, stats.MeanCoalesced, stats.MaxCoalesced, stats.MaxQueueDepth)
-	fmt.Printf("service:   %s\n", stats.Service)
-	fmt.Printf("e2e:       %s\n", stats.E2E)
+		snap.Requests, snap.Batches, snap.MeanCoalesced, snap.MaxCoalesced, snap.MaxQueueDepth)
+	if snap.Shed > 0 || snap.Canceled > 0 {
+		fmt.Printf("admission: %d shed, %d canceled\n", snap.Shed, snap.Canceled)
+	}
+	if snap.ScaleUps > 0 || snap.ScaleDowns > 0 {
+		fmt.Printf("autoscale: %d ups, %d downs, %d replicas now\n", snap.ScaleUps, snap.ScaleDowns, snap.Replicas)
+	}
+	fmt.Printf("service:   %s\n", snap.Service)
+	fmt.Printf("e2e:       %s\n", snap.E2E)
 
 	if workloadTrace != nil {
 		telemetry.StopTracing()
@@ -176,23 +222,43 @@ func main() {
 			*traceOut, workloadTrace.Len(), workloadTrace.Dropped())
 	}
 	if *hold > 0 {
-		fmt.Printf("holding for %v (ctrl-C to exit)...\n", *hold)
-		time.Sleep(*hold)
+		holdOpen(*hold)
 	}
 }
 
-// buildMux wires the observability endpoints over the registry and the
-// server's group snapshots.
-func buildMux(reg *telemetry.Registry, srv *serve.Server) *http.ServeMux {
+// holdOpen keeps the process (and its HTTP listener) alive: for the given
+// duration, or forever when zero (serve-only mode with no -hold).
+func holdOpen(d time.Duration) {
+	if d > 0 {
+		fmt.Printf("holding for %v (ctrl-C to exit)...\n", d)
+		time.Sleep(d)
+		return
+	}
+	fmt.Println("serving (ctrl-C to exit)...")
+	select {}
+}
+
+// parseScaleRange parses the -scale "min:max" form.
+func parseScaleRange(s string) (min, max int, err error) {
+	if _, err := fmt.Sscanf(s, "%d:%d", &min, &max); err != nil {
+		return 0, 0, fmt.Errorf("parse -scale %q (want min:max, e.g. 1:8)", s)
+	}
+	if min < 1 || max < min {
+		return 0, 0, fmt.Errorf("-scale %q: want 1 <= min <= max", s)
+	}
+	return min, max, nil
+}
+
+// buildMux wires the serving wire API and the observability endpoints
+// over one listener. /debug/streams is served by the wire API handler, so
+// its payload is exactly the serve.Snapshot JSON shape.
+func buildMux(reg *telemetry.Registry, srv *serve.Server, hcfg httpapi.Config) *http.ServeMux {
+	api := httpapi.New(srv, hcfg)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
 	mux.Handle("/debug/trace", telemetry.TraceHandler())
-	mux.HandleFunc("/debug/streams", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(srv.Stats())
-	})
+	mux.Handle("/debug/streams", api)
+	mux.Handle("/v1/", api)
 	return mux
 }
 
@@ -207,18 +273,6 @@ func writeTrace(path string, tr *telemetry.Tracer) error {
 		return err
 	}
 	return f.Close()
-}
-
-func parseAlgo(s string) (core.Algorithm, error) {
-	switch strings.ToLower(s) {
-	case "noadapt", "no-adapt":
-		return core.NoAdapt, nil
-	case "bnnorm", "bn-norm":
-		return core.BNNorm, nil
-	case "bnopt", "bn-opt":
-		return core.BNOpt, nil
-	}
-	return 0, fmt.Errorf("ttaserve: unknown algorithm %q (want noadapt, bnnorm or bnopt)", s)
 }
 
 func fatal(err error) {

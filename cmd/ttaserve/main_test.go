@@ -12,6 +12,7 @@ import (
 	"edgetta/internal/core"
 	"edgetta/internal/models"
 	"edgetta/internal/serve"
+	"edgetta/internal/serve/httpapi"
 	"edgetta/internal/telemetry"
 	"edgetta/internal/tensor"
 )
@@ -35,7 +36,7 @@ func TestObservabilityEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(buildMux(reg, srv))
+	ts := httptest.NewServer(buildMux(reg, srv, httpapi.Config{}))
 	defer ts.Close()
 
 	st, err := srv.OpenStream(key)
@@ -88,12 +89,29 @@ func TestObservabilityEndpoints(t *testing.T) {
 	}
 
 	streamsBody, _ := get("/debug/streams")
-	var groups []serve.GroupStats
-	if err := json.Unmarshal([]byte(streamsBody), &groups); err != nil {
+	var snap serve.Snapshot
+	if err := json.Unmarshal([]byte(streamsBody), &snap); err != nil {
 		t.Fatalf("/debug/streams: %v\n%s", err, streamsBody)
 	}
-	if len(groups) != 1 || groups[0].Requests != 1 || len(groups[0].Streams) != 1 {
-		t.Fatalf("/debug/streams snapshot = %+v", groups)
+	if len(snap.Groups) != 1 || snap.Groups[0].Requests != 1 || len(snap.Groups[0].Streams) != 1 {
+		t.Fatalf("/debug/streams snapshot = %+v", snap)
+	}
+	if snap.Groups[0].Key != key {
+		t.Errorf("/debug/streams key round-trip = %+v, want %+v", snap.Groups[0].Key, key)
+	}
+
+	// The wire API rides the same mux: open a session, submit one batch,
+	// close — the snapshot must then count the remote request too.
+	client := httpapi.NewClient(ts.URL, ts.Client())
+	cs, err := client.Open(m.Tag, "noadapt")
+	if err != nil {
+		t.Fatalf("wire open: %v", err)
+	}
+	if _, err := cs.Process(x); err != nil {
+		t.Fatalf("wire process: %v", err)
+	}
+	if ss, err := cs.Close(); err != nil || ss.Requests != 1 {
+		t.Fatalf("wire close: snapshot %+v, err %v", ss, err)
 	}
 
 	// Record a short trace with traffic in flight. The handler installs

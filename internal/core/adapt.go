@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"edgetta/internal/models"
 	"edgetta/internal/nn"
@@ -48,6 +49,23 @@ func (a Algorithm) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// ParseAlgorithm resolves an algorithm name. It accepts the paper's
+// spelling (the String form: "No-Adapt", "BN-Norm", "BN-Opt") and the
+// flag-friendly lowercase variants ("noadapt", "bnnorm", "bnopt"),
+// case-insensitively — the single parser behind every CLI flag and the
+// serving wire protocol.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(strings.ReplaceAll(s, "-", "")) {
+	case "noadapt":
+		return NoAdapt, nil
+	case "bnnorm":
+		return BNNorm, nil
+	case "bnopt":
+		return BNOpt, nil
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q (want noadapt, bnnorm or bnopt)", s)
 }
 
 // Config tunes the adaptation algorithms.

@@ -1,12 +1,12 @@
 package serve
 
 import (
-	"fmt"
-	"sort"
+	"context"
 	"sync"
 	"time"
 
 	"edgetta/internal/core"
+	"edgetta/internal/models"
 	"edgetta/internal/telemetry"
 	"edgetta/internal/tensor"
 )
@@ -18,10 +18,13 @@ type groupMetrics struct {
 	queueDepth    *telemetry.Gauge   // current pending requests
 	pendingImages *telemetry.Gauge   // image total of the pending queue
 	openStreams   *telemetry.Gauge   // streams currently open
+	replicas      *telemetry.Gauge   // live replica count (autoscaled)
 	requests      *telemetry.Counter // lifetime requests served
 	images        *telemetry.Counter // lifetime images served
 	batches       *telemetry.Counter // lifetime Process calls
 	coalesced     *telemetry.Counter // lifetime requests served in shared Process calls
+	shed          *telemetry.Counter // lifetime requests rejected at admission (AdmitShed)
+	canceled      *telemetry.Counter // lifetime requests canceled while queued
 }
 
 // newGroupMetrics registers the group's metrics under its key label.
@@ -31,10 +34,13 @@ func newGroupMetrics(reg *telemetry.Registry, key GroupKey) *groupMetrics {
 		queueDepth:    reg.Gauge("edgetta_serve_queue_depth", l...),
 		pendingImages: reg.Gauge("edgetta_serve_pending_images", l...),
 		openStreams:   reg.Gauge("edgetta_serve_open_streams", l...),
+		replicas:      reg.Gauge("edgetta_serve_replicas", l...),
 		requests:      reg.Counter("edgetta_serve_requests_total", l...),
 		images:        reg.Counter("edgetta_serve_images_total", l...),
 		batches:       reg.Counter("edgetta_serve_batches_total", l...),
 		coalesced:     reg.Counter("edgetta_serve_coalesced_requests_total", l...),
+		shed:          reg.Counter("edgetta_serve_shed_total", l...),
+		canceled:      reg.Counter("edgetta_serve_canceled_total", l...),
 	}
 }
 
@@ -58,11 +64,17 @@ type streamState struct {
 	// groups only). It is accessed only by the worker currently holding
 	// the stream's single in-flight request, or — between requests — under
 	// the group mutex via the inflight gate, so it needs no lock of its own.
+	// Stream.Close nils it only after the stream's last admitted request
+	// has drained (pending == 0), never while a worker may still read it.
 	state core.AdapterState
 	// inflight marks that a worker is processing a request of this stream
 	// (stateful groups serialize per-stream requests through it).
 	inflight bool
-	closed   bool
+	// pending counts the stream's admitted-but-undelivered requests:
+	// queued plus dispatched. Close waits for it to reach zero before
+	// releasing state (drain-then-release).
+	pending int
+	closed  bool
 
 	// per-stream metrics, guarded by the group mutex.
 	requests int
@@ -70,13 +82,21 @@ type streamState struct {
 	e2e      core.LatencyHist
 }
 
-// request is one pending Submit.
+// request is one pending SubmitCtx.
 type request struct {
-	st   *streamState
-	x    *tensor.Tensor
-	n    int // images
-	enq  time.Time
-	resp chan Response
+	st  *streamState
+	ctx context.Context
+	x   *tensor.Tensor
+	n   int // images
+	enq time.Time
+	// queued is true while the request sits in g.pending (guarded by
+	// g.mu). Exactly one of the dispatcher and the cancellation watcher
+	// flips it, so exactly one of them delivers the response.
+	queued bool
+	// stopCancel deregisters the context watcher; the dispatcher calls it
+	// when it takes the request off the queue.
+	stopCancel func() bool
+	resp       chan Response
 }
 
 // Response delivers one request's results.
@@ -99,12 +119,24 @@ type group struct {
 	cfg      Config
 	stateful bool
 	initial  core.AdapterState
-	replicas []*replica
+
+	// template is a pristine clone the autoscaler grows new replicas
+	// from; algo and acfg rebuild their adapters.
+	template *models.Model
+	algo     core.Algorithm
+	acfg     core.Config
 
 	inC, inHW, classes int
 
 	mu   sync.Mutex
 	cond *sync.Cond
+	// replicas is the live pool (including workers marked for retirement
+	// that have not yet exited); retire counts pending retirements.
+	replicas      []*replica
+	nextReplicaID int
+	retire        int
+	// active counts dispatched-but-unfinished Process calls.
+	active int
 	// pending is the FIFO request queue; pendingImages tracks its image
 	// total for the coalescing policy and queueMax for the stats.
 	pending       []*request
@@ -121,8 +153,21 @@ type group struct {
 	images       int
 	coalesced    int // requests that shared a Process call with others
 	maxCoalesced int
-	batchHist    *core.LatencyHist // service time per Process call
-	e2eHist      *core.LatencyHist // submit-to-response time per request
+	shed         int // rejected at admission (AdmitShed)
+	canceled     int // canceled while queued
+	scaleUps     int
+	scaleDowns   int
+	// serviceEMA is a cheap running estimate of per-Process wall time,
+	// feeding the retry-after suggestion on shed (reading the histogram's
+	// Summary would sort the window under pressure).
+	serviceEMA time.Duration
+	batchHist  *core.LatencyHist // service time per Process call
+	e2eHist    *core.LatencyHist // submit-to-response time per request
+
+	// autoscale controller state (single ticker, see scaler.go).
+	upStreak, downStreak int
+	stopScale            chan struct{}
+	wg                   sync.WaitGroup
 
 	// met holds the group's registry handles; nil when the server was
 	// configured without a telemetry registry.
@@ -144,33 +189,144 @@ func (g *group) openStream() *Stream {
 	return &Stream{g: g, st: st}
 }
 
+// close shuts the group down: new submissions fail, queued requests drain,
+// workers and the scale controller exit.
 func (g *group) close() {
 	g.mu.Lock()
-	g.closed = true
+	if !g.closed {
+		g.closed = true
+		close(g.stopScale)
+	}
 	g.cond.Broadcast()
 	g.mu.Unlock()
 }
 
-// submit enqueues a request, blocking while the queue is full. The
-// returned channel is buffered, so workers never block delivering.
-func (g *group) submit(st *streamState, x *tensor.Tensor) <-chan Response {
+// closeStream implements Stream.Close's drain-then-release contract: mark
+// the stream closed (later submissions fail with ErrStreamClosed), wait
+// for every already-admitted request to finish — a queued or in-flight
+// request still references the stream's adaptation state — and only then
+// drop the stream record and release the state.
+func (g *group) closeStream(st *streamState) {
+	g.mu.Lock()
+	if st.closed {
+		g.mu.Unlock()
+		return
+	}
+	st.closed = true
+	g.cond.Broadcast() // wake submitters blocked on admission for this stream
+	for st.pending > 0 || st.inflight {
+		g.cond.Wait()
+	}
+	delete(g.streams, st.id)
+	st.state = nil
+	if g.met != nil {
+		g.met.openStreams.Set(int64(len(g.streams)))
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// startReplica adds r to the pool and spawns its worker.
+func (g *group) startReplica(r *replica) {
+	g.mu.Lock()
+	g.replicas = append(g.replicas, r)
+	if g.met != nil {
+		g.met.replicas.Set(int64(len(g.replicas) - g.retire))
+	}
+	g.mu.Unlock()
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		g.serveLoop(r)
+	}()
+}
+
+// dropReplicaLocked removes r from the pool; the caller holds g.mu and r's
+// worker is about to exit.
+func (g *group) dropReplicaLocked(r *replica) {
+	for i, x := range g.replicas {
+		if x == r {
+			g.replicas = append(g.replicas[:i], g.replicas[i+1:]...)
+			break
+		}
+	}
+	if g.met != nil {
+		g.met.replicas.Set(int64(len(g.replicas) - g.retire))
+	}
+}
+
+// retryAfterLocked suggests a client backoff for a shed rejection: the
+// time for the live pool to work off the current queue, estimated from the
+// service-time EMA. Clamped to [1ms, 2s]; 25ms before any call completed.
+func (g *group) retryAfterLocked(depth int) time.Duration {
+	live := len(g.replicas) - g.retire
+	if live < 1 {
+		live = 1
+	}
+	ra := 25 * time.Millisecond
+	if g.serviceEMA > 0 {
+		ra = g.serviceEMA * time.Duration(depth) / time.Duration(live)
+	}
+	if ra < time.Millisecond {
+		ra = time.Millisecond
+	}
+	if ra > 2*time.Second {
+		ra = 2 * time.Second
+	}
+	return ra
+}
+
+// submit admits one request under the group's admission policy. The
+// returned channel is buffered, so neither workers nor the cancellation
+// watcher ever block delivering. The request context is honored while the
+// request is blocked on admission and while it waits in the queue; once a
+// replica dispatches it, it runs to completion.
+func (g *group) submit(ctx context.Context, st *streamState, x *tensor.Tensor) <-chan Response {
 	resp := make(chan Response, 1)
 	fail := func(err error) <-chan Response {
 		resp <- Response{Err: err}
 		return resp
 	}
 	if x == nil || x.NDim() != 4 {
-		return fail(fmt.Errorf("serve: %s: batch must be NCHW, got %v", g.key, shapeOf(x)))
+		return fail(errBadRequest("%s: batch must be NCHW, got %v", g.key, shapeOf(x)))
 	}
 	if x.Dim(1) != g.inC || x.Dim(2) != g.inHW || x.Dim(3) != g.inHW {
-		return fail(fmt.Errorf("serve: %s: batch shape %v does not match model input %dx%dx%d",
+		return fail(errBadRequest("%s: batch shape %v does not match model input %dx%dx%d",
 			g.key, x.Shape(), g.inC, g.inHW, g.inHW))
 	}
-	req := &request{st: st, x: x, n: x.Dim(0), enq: time.Now(), resp: resp}
+	if ctx.Err() != nil {
+		return fail(ctxErr(ctx))
+	}
+	req := &request{st: st, ctx: ctx, x: x, n: x.Dim(0), enq: time.Now(), resp: resp}
 
 	g.mu.Lock()
-	for len(g.pending) >= g.cfg.QueueCap && !g.closed && !st.closed {
-		g.cond.Wait()
+	if len(g.pending) >= g.cfg.QueueCap && !g.closed && !st.closed {
+		if g.cfg.Admission == AdmitShed {
+			depth := len(g.pending)
+			ra := g.retryAfterLocked(depth)
+			g.shed++
+			if g.met != nil {
+				g.met.shed.Inc()
+			}
+			g.mu.Unlock()
+			return fail(errOverloaded(g.key, depth, ra))
+		}
+		// AdmitBlock: wait for space, waking on context expiry too. The
+		// watcher only broadcasts — the wait condition re-checks ctx.
+		stop := context.AfterFunc(ctx, func() {
+			g.mu.Lock()
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		})
+		for len(g.pending) >= g.cfg.QueueCap && !g.closed && !st.closed && ctx.Err() == nil {
+			g.cond.Wait()
+		}
+		stop()
+		if len(g.pending) >= g.cfg.QueueCap && !g.closed && !st.closed {
+			// Only the context expired.
+			g.mu.Unlock()
+			return fail(ctxErr(ctx))
+		}
 	}
 	if g.closed || st.closed {
 		g.mu.Unlock()
@@ -179,15 +335,50 @@ func (g *group) submit(st *streamState, x *tensor.Tensor) <-chan Response {
 		}
 		return fail(ErrClosed)
 	}
+	req.queued = true
+	st.pending++
 	g.pending = append(g.pending, req)
 	g.pendingImages += req.n
 	if len(g.pending) > g.queueMax {
 		g.queueMax = len(g.pending)
 	}
 	g.updateQueueGauges()
+	if ctx.Done() != nil {
+		// Watch for expiry while queued; the dispatcher deregisters this
+		// when it takes the request.
+		req.stopCancel = context.AfterFunc(ctx, func() { g.cancelQueued(req) })
+	}
 	g.cond.Broadcast()
 	g.mu.Unlock()
 	return resp
+}
+
+// cancelQueued removes a still-queued request whose context expired and
+// delivers the typed context error. If the dispatcher got there first
+// (queued already false) the request proceeds normally and this is a no-op.
+func (g *group) cancelQueued(req *request) {
+	g.mu.Lock()
+	if !req.queued {
+		g.mu.Unlock()
+		return
+	}
+	for i, r := range g.pending {
+		if r == req {
+			g.pending = append(g.pending[:i], g.pending[i+1:]...)
+			break
+		}
+	}
+	req.queued = false
+	g.pendingImages -= req.n
+	req.st.pending--
+	g.canceled++
+	if g.met != nil {
+		g.met.canceled.Inc()
+	}
+	g.updateQueueGauges()
+	g.cond.Broadcast() // queue space freed; Close may be waiting on st.pending
+	g.mu.Unlock()
+	req.resp <- Response{Err: ctxErr(req.ctx)}
 }
 
 // updateQueueGauges publishes the queue's current shape. Callers hold
@@ -208,10 +399,11 @@ func shapeOf(x *tensor.Tensor) []int {
 }
 
 // serveLoop is one replica worker: take a dispatchable batch, run it,
-// repeat until the group is closed and drained.
+// repeat until the group is closed and drained (or the worker is retired
+// by the autoscaler).
 func (g *group) serveLoop(r *replica) {
 	for {
-		reqs := g.take()
+		reqs := g.take(r)
 		if reqs == nil {
 			return
 		}
@@ -219,14 +411,32 @@ func (g *group) serveLoop(r *replica) {
 	}
 }
 
+// dequeueLocked removes req from the queue for dispatch: flips its queued
+// flag (so a racing cancellation becomes a no-op) and deregisters the
+// context watcher. Caller holds g.mu and has already located req.
+func (g *group) dequeueLocked(req *request) {
+	req.queued = false
+	if req.stopCancel != nil {
+		req.stopCancel()
+		req.stopCancel = nil
+	}
+}
+
 // take blocks until it can dispatch work, honoring the batching policy.
-// It returns nil when the group is closed and the queue drained.
-func (g *group) take() []*request {
+// It returns nil when the worker should exit: the group is closed and the
+// queue drained, or the autoscaler retired this worker.
+func (g *group) take(r *replica) []*request {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for {
+		if g.retire > 0 && !g.closed {
+			g.retire--
+			g.dropReplicaLocked(r)
+			return nil
+		}
 		if len(g.pending) == 0 {
 			if g.closed {
+				g.dropReplicaLocked(r)
 				return nil
 			}
 			g.cond.Wait()
@@ -238,8 +448,10 @@ func (g *group) take() []*request {
 			for i, req := range g.pending {
 				if !req.st.inflight {
 					req.st.inflight = true
+					g.dequeueLocked(req)
 					g.pending = append(g.pending[:i], g.pending[i+1:]...)
 					g.pendingImages -= req.n
+					g.active++
 					g.updateQueueGauges()
 					g.cond.Broadcast() // queue space freed
 					return []*request{req}
@@ -274,6 +486,7 @@ func (g *group) take() []*request {
 			if len(batch) > 0 && taken+req.n > g.cfg.MaxBatch {
 				break
 			}
+			g.dequeueLocked(req)
 			batch = append(batch, req)
 			taken += req.n
 			g.pending = g.pending[1:]
@@ -282,6 +495,7 @@ func (g *group) take() []*request {
 			}
 		}
 		g.pendingImages -= taken
+		g.active++
 		g.updateQueueGauges()
 		g.cond.Broadcast() // queue space freed
 		return batch
@@ -350,11 +564,17 @@ func (g *group) run(r *replica, reqs []*request) {
 	g.batches++
 	g.requests += len(reqs)
 	g.images += n
+	g.active--
 	if len(reqs) > 1 {
 		g.coalesced += len(reqs)
 	}
 	if n > g.maxCoalesced {
 		g.maxCoalesced = n
+	}
+	if g.serviceEMA == 0 {
+		g.serviceEMA = service
+	} else {
+		g.serviceEMA += (service - g.serviceEMA) / 8
 	}
 	if g.met != nil {
 		g.met.batches.Inc()
@@ -370,6 +590,7 @@ func (g *group) run(r *replica, reqs []*request) {
 		g.e2eHist.Observe(e2e)
 		req.st.requests++
 		req.st.images += req.n
+		req.st.pending--
 		req.st.e2e.Observe(e2e)
 	}
 	if g.stateful {
@@ -377,7 +598,9 @@ func (g *group) run(r *replica, reqs []*request) {
 		// dispatch (even to another replica) before these responses land.
 		reqs[0].st.inflight = false
 	}
-	g.cond.Broadcast() // the stream's next request became dispatchable
+	// The stream's next request became dispatchable; a drain-then-release
+	// Close may also be waiting on st.pending.
+	g.cond.Broadcast()
 	g.mu.Unlock()
 
 	// Split the output rows back to per-request responses in queue order.
@@ -399,75 +622,4 @@ func (g *group) run(r *replica, reqs []*request) {
 			BatchImages: n,
 		}
 	}
-}
-
-// GroupStats is a group's aggregate serving metrics.
-type GroupStats struct {
-	Key      GroupKey
-	Replicas int
-	Stateful bool
-	// Batches counts adapter Process calls; Requests and Images count the
-	// submissions they served. MeanCoalesced = Images/Batches is the
-	// effective batching factor.
-	Batches, Requests, Images int
-	// Coalesced is the lifetime count of requests that shared a Process
-	// call with at least one other request.
-	Coalesced     int
-	MaxCoalesced  int
-	MeanCoalesced float64
-	// QueueDepth is the pending-queue length at snapshot time;
-	// MaxQueueDepth its lifetime peak (bounded by QueueCap).
-	QueueDepth    int
-	PendingImages int
-	MaxQueueDepth int
-	// Service is per-Process wall time; E2E is per-request submit-to-
-	// response time (queue wait + service).
-	Service, E2E core.LatencySummary
-	// Streams snapshots every open stream, ascending by ID.
-	Streams []StreamStats
-}
-
-// stats snapshots the group. The group lock covers only the plain-field
-// copy; percentile computation (which sorts up to a full histogram window)
-// runs after release, against the internally locked histograms, so a slow
-// scrape never stalls the dispatch path.
-func (g *group) stats() GroupStats {
-	g.mu.Lock()
-	s := GroupStats{
-		Key:           g.key,
-		Replicas:      len(g.replicas),
-		Stateful:      g.stateful,
-		Batches:       g.batches,
-		Requests:      g.requests,
-		Images:        g.images,
-		Coalesced:     g.coalesced,
-		MaxCoalesced:  g.maxCoalesced,
-		QueueDepth:    len(g.pending),
-		PendingImages: g.pendingImages,
-		MaxQueueDepth: g.queueMax,
-	}
-	type streamRef struct {
-		ss  StreamStats
-		e2e *core.LatencyHist
-	}
-	refs := make([]streamRef, 0, len(g.streams))
-	for _, st := range g.streams {
-		refs = append(refs, streamRef{
-			ss:  StreamStats{ID: st.id, Requests: st.requests, Images: st.images},
-			e2e: &st.e2e,
-		})
-	}
-	g.mu.Unlock()
-
-	s.Service = g.batchHist.Summary()
-	s.E2E = g.e2eHist.Summary()
-	if s.Batches > 0 {
-		s.MeanCoalesced = float64(s.Images) / float64(s.Batches)
-	}
-	sort.Slice(refs, func(i, j int) bool { return refs[i].ss.ID < refs[j].ss.ID })
-	for _, r := range refs {
-		r.ss.E2E = r.e2e.Summary()
-		s.Streams = append(s.Streams, r.ss)
-	}
-	return s
 }

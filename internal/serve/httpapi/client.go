@@ -1,0 +1,186 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"edgetta/internal/serve"
+	"edgetta/internal/tensor"
+)
+
+// Client speaks the front-end's wire protocol. It rebuilds typed serve
+// errors from error payloads, so remote callers branch on failures with
+// errors.Is(err, serve.ErrOverloaded) exactly like in-process callers —
+// including the RetryAfter backoff hint on shed rejections. The zero
+// Base/HTTP fields are not usable; construct with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+	// Binary selects the octet-stream codec for submissions (exact and
+	// compact); false selects JSON (exact too — see the package comment).
+	Binary bool
+}
+
+// NewClient targets a front-end at base (e.g. "http://127.0.0.1:8080").
+// A nil httpClient means http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// ClientStream is the remote counterpart of serve.Stream: one session.
+type ClientStream struct {
+	c       *Client
+	Session string
+	ID      int
+}
+
+// Open starts a stream on the group serving (model, algo) and returns the
+// session handle. The algo spelling is anything core.ParseAlgorithm takes.
+func (c *Client) Open(model, algo string) (*ClientStream, error) {
+	body, _ := json.Marshal(openRequest{Model: model, Algo: algo})
+	resp, err := c.http.Post(c.base+"/v1/streams", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var or openResponse
+	if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
+		return nil, fmt.Errorf("decode open response: %w", err)
+	}
+	return &ClientStream{c: c, Session: or.Session, ID: or.StreamID}, nil
+}
+
+// Snapshot fetches the server-wide stats payload.
+func (c *Client) Snapshot() (serve.Snapshot, error) {
+	var snap serve.Snapshot
+	resp, err := c.http.Get(c.base + "/v1/stats")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, decodeError(resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err
+}
+
+// Process submits one batch and blocks for its logits, in the client's
+// configured codec. Failures carry the typed serve taxonomy.
+func (s *ClientStream) Process(x *tensor.Tensor) (*tensor.Tensor, error) {
+	url := s.c.base + "/v1/streams/" + s.Session + "/submit"
+	var req *http.Request
+	var err error
+	if s.c.Binary {
+		req, err = http.NewRequest(http.MethodPost, url, bytes.NewReader(encodeF32(x.Data)))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		req.Header.Set("X-Edgetta-Shape", shapeHeader(x.Shape()))
+	} else {
+		body, merr := json.Marshal(batchJSON{Shape: x.Shape(), Data: x.Data})
+		if merr != nil {
+			return nil, merr
+		}
+		req, err = http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := s.c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	if s.c.Binary {
+		shape, err := parseShapeHeader(resp.Header.Get("X-Edgetta-Shape"))
+		if err != nil {
+			return nil, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		data, err := decodeF32(raw)
+		if err != nil {
+			return nil, err
+		}
+		return tensorFrom(data, shape)
+	}
+	var b batchJSON
+	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+		return nil, fmt.Errorf("decode logits: %w", err)
+	}
+	return tensorFrom(b.Data, b.Shape)
+}
+
+// Snapshot fetches the stream's serving metrics.
+func (s *ClientStream) Snapshot() (serve.StreamSnapshot, error) {
+	var ss serve.StreamSnapshot
+	resp, err := s.c.http.Get(s.c.base + "/v1/streams/" + s.Session)
+	if err != nil {
+		return ss, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ss, decodeError(resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ss)
+	return ss, err
+}
+
+// Close ends the session: the server drains the stream's admitted work,
+// releases its adaptation state, and returns the final snapshot.
+func (s *ClientStream) Close() (serve.StreamSnapshot, error) {
+	var ss serve.StreamSnapshot
+	req, err := http.NewRequest(http.MethodDelete, s.c.base+"/v1/streams/"+s.Session, nil)
+	if err != nil {
+		return ss, err
+	}
+	resp, err := s.c.http.Do(req)
+	if err != nil {
+		return ss, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ss, decodeError(resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ss)
+	return ss, err
+}
+
+// decodeError rebuilds a typed error from a non-200 response. Payloads
+// carrying a known serve code produce a *serve.Error that matches the
+// package sentinels under errors.Is; anything else degrades to a plain
+// error naming the status.
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var p errorPayload
+	if err := json.Unmarshal(raw, &p); err == nil && p.Error.Code != "" {
+		if code := serve.ParseCode(p.Error.Code); code != serve.CodeUnknown {
+			return &serve.Error{
+				Code:       code,
+				Msg:        p.Error.Message,
+				QueueDepth: p.Error.QueueDepth,
+				RetryAfter: time.Duration(p.Error.RetryAfterMS) * time.Millisecond,
+			}
+		}
+		return fmt.Errorf("%s: %s (%s)", resp.Status, p.Error.Message, p.Error.Code)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(raw))
+}

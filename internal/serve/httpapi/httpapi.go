@@ -1,0 +1,381 @@
+// Package httpapi is the HTTP front-end over a serve.Server: it takes the
+// in-process serving API off-box. Sessions map one-to-one onto serve
+// streams — opening a stream returns an unguessable session token, and
+// every later call names the token — so a remote client gets exactly the
+// in-process contract: per-stream adaptation state, submission-order
+// processing, drain-then-release close, and byte-identical outputs (the
+// wire carries float32 exactly in both codecs).
+//
+// Endpoints (Go 1.22 pattern routing):
+//
+//	POST   /v1/streams                   open a stream    {"model":..,"algo":..}
+//	POST   /v1/streams/{session}/submit  process a batch  (JSON or binary codec)
+//	GET    /v1/streams/{session}         stream snapshot
+//	DELETE /v1/streams/{session}         close (drains, then releases)
+//	GET    /v1/stats                     server-wide serve.Snapshot
+//	GET    /debug/streams                alias of /v1/stats
+//
+// Submit codecs, chosen by the request Content-Type and mirrored in the
+// response:
+//
+//   - application/json: {"shape":[n,c,h,w],"data":[...]} — Go renders each
+//     float32 with its shortest 32-bit representation, which parses back to
+//     the identical float32, so the JSON codec is exact.
+//   - application/octet-stream: raw little-endian float32 in row-major
+//     order, shape in the X-Edgetta-Shape header ("n,c,h,w").
+//
+// Failures carry the serve error taxonomy on the wire:
+// {"error":{"code":..,"message":..,"queue_depth":..,"retry_after_ms":..}}
+// with the status mapped table-driven from the code — an AdmitShed
+// rejection becomes 429 Too Many Requests with a Retry-After header.
+package httpapi
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"edgetta/internal/core"
+	"edgetta/internal/serve"
+	"edgetta/internal/tensor"
+)
+
+// httpStatus is the table mapping the serve error taxonomy to HTTP status
+// lines. Every handler routes failures through it; no handler picks a
+// status ad hoc for a typed serve error.
+var httpStatus = map[serve.Code]int{
+	serve.CodeBadRequest:   http.StatusBadRequest,
+	serve.CodeNoGroup:      http.StatusNotFound,
+	serve.CodeStreamClosed: http.StatusGone,
+	serve.CodeOverloaded:   http.StatusTooManyRequests,
+	serve.CodeClosed:       http.StatusServiceUnavailable,
+	serve.CodeDeadline:     http.StatusGatewayTimeout,
+	// 499 is nginx's "client closed request": the requester's context died
+	// mid-flight, so nobody is likely reading this status anyway.
+	serve.CodeCanceled: 499,
+}
+
+// Config tunes the front-end.
+type Config struct {
+	// Timeout is the server-side deadline applied to every submit: a
+	// request that cannot be dispatched within it is failed with the
+	// typed deadline error (HTTP 504) and its queue slot freed. Zero
+	// means 30s; negative disables the server-side deadline (the client
+	// disconnecting still cancels the request).
+	Timeout time.Duration
+	// MaxBodyBytes bounds a submit body. Zero means 64 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Handler is the HTTP front-end. It implements http.Handler.
+type Handler struct {
+	srv *serve.Server
+	cfg Config
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*serve.Stream
+}
+
+// New builds the front-end over the server.
+func New(srv *serve.Server, cfg Config) *Handler {
+	h := &Handler{
+		srv:      srv,
+		cfg:      cfg.withDefaults(),
+		mux:      http.NewServeMux(),
+		sessions: make(map[string]*serve.Stream),
+	}
+	h.mux.HandleFunc("POST /v1/streams", h.handleOpen)
+	h.mux.HandleFunc("POST /v1/streams/{session}/submit", h.handleSubmit)
+	h.mux.HandleFunc("GET /v1/streams/{session}", h.handleStreamSnapshot)
+	h.mux.HandleFunc("DELETE /v1/streams/{session}", h.handleClose)
+	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
+	h.mux.HandleFunc("GET /debug/streams", h.handleStats)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// Wire shapes. Field order is fixed, so encodings are deterministic.
+
+type openRequest struct {
+	Model string `json:"model"`
+	Algo  string `json:"algo"`
+}
+
+type openResponse struct {
+	Session  string `json:"session"`
+	StreamID int    `json:"stream_id"`
+}
+
+type batchJSON struct {
+	Shape []int     `json:"shape"`
+	Data  []float32 `json:"data"`
+}
+
+type wireError struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	QueueDepth   int    `json:"queue_depth,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+type errorPayload struct {
+	Error wireError `json:"error"`
+}
+
+// writeError renders any failure as the wire error payload. Typed serve
+// errors map through the status table and keep their detail; anything
+// else is a front-end-level bad request unless the caller chose a status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	p := errorPayload{Error: wireError{Code: serve.CodeUnknown.String(), Message: err.Error()}}
+	var se *serve.Error
+	if errors.As(err, &se) {
+		p.Error.Code = se.Code.String()
+		p.Error.QueueDepth = se.QueueDepth
+		p.Error.RetryAfterMS = se.RetryAfter.Milliseconds()
+		if s, ok := httpStatus[se.Code]; ok {
+			status = s
+		}
+		if se.Code == serve.CodeOverloaded {
+			// Retry-After is whole seconds by spec; round the hint up so
+			// "retry in 40ms" does not truncate to "retry immediately".
+			secs := int64(math.Ceil(se.RetryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
+	}
+	writeJSON(w, status, p)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// newToken mints an unguessable session token.
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("httpapi: crypto/rand failed: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (h *Handler) lookup(token string) (*serve.Stream, bool) {
+	h.mu.Lock()
+	st, ok := h.sessions[token]
+	h.mu.Unlock()
+	return st, ok
+}
+
+func (h *Handler) handleOpen(w http.ResponseWriter, r *http.Request) {
+	var req openRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode open request: %w", err))
+		return
+	}
+	algo, err := core.ParseAlgorithm(req.Algo)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := h.srv.OpenStream(serve.GroupKey{ModelTag: req.Model, Algo: algo})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	token := newToken()
+	h.mu.Lock()
+	h.sessions[token] = st
+	h.mu.Unlock()
+	writeJSON(w, http.StatusOK, openResponse{Session: token, StreamID: st.ID()})
+}
+
+// sessionError is the payload for an unknown session token: deliberately
+// outside the serve taxonomy (the serve layer never saw the request).
+func unknownSession(w http.ResponseWriter) {
+	writeJSON(w, http.StatusNotFound, errorPayload{Error: wireError{
+		Code: "unknown_session", Message: "unknown or closed session token",
+	}})
+}
+
+func (h *Handler) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	st, ok := h.lookup(r.PathValue("session"))
+	if !ok {
+		unknownSession(w)
+		return
+	}
+	binaryCodec := strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream")
+	x, err := h.readBatch(r, binaryCodec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx := r.Context()
+	if h.cfg.Timeout > 0 {
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, h.cfg.Timeout)
+		defer cancel()
+	}
+	logits, err := st.ProcessCtx(ctx, x)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if binaryCodec {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Edgetta-Shape", shapeHeader(logits.Shape()))
+		w.WriteHeader(http.StatusOK)
+		w.Write(encodeF32(logits.Data))
+		return
+	}
+	writeJSON(w, http.StatusOK, batchJSON{Shape: logits.Shape(), Data: logits.Data})
+}
+
+// readBatch decodes a submit body in the request's codec into a tensor.
+func (h *Handler) readBatch(r *http.Request, binaryCodec bool) (*tensor.Tensor, error) {
+	body := io.LimitReader(r.Body, h.cfg.MaxBodyBytes+1)
+	if binaryCodec {
+		shape, err := parseShapeHeader(r.Header.Get("X-Edgetta-Shape"))
+		if err != nil {
+			return nil, err
+		}
+		raw, err := io.ReadAll(body)
+		if err != nil {
+			return nil, fmt.Errorf("read body: %w", err)
+		}
+		if int64(len(raw)) > h.cfg.MaxBodyBytes {
+			return nil, fmt.Errorf("body exceeds %d bytes", h.cfg.MaxBodyBytes)
+		}
+		data, err := decodeF32(raw)
+		if err != nil {
+			return nil, err
+		}
+		return tensorFrom(data, shape)
+	}
+	var b batchJSON
+	if err := json.NewDecoder(body).Decode(&b); err != nil {
+		return nil, fmt.Errorf("decode batch: %w", err)
+	}
+	return tensorFrom(b.Data, b.Shape)
+}
+
+// tensorFrom validates shape-against-data and builds the tensor.
+func tensorFrom(data []float32, shape []int) (*tensor.Tensor, error) {
+	if len(shape) == 0 {
+		return nil, errors.New("missing shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("non-positive dimension in shape %v", shape)
+		}
+		if n > (1<<31)/d {
+			return nil, fmt.Errorf("shape %v overflows", shape)
+		}
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("shape %v wants %d values, body carries %d", shape, n, len(data))
+	}
+	return tensor.FromSlice(data, shape...), nil
+}
+
+func (h *Handler) handleStreamSnapshot(w http.ResponseWriter, r *http.Request) {
+	st, ok := h.lookup(r.PathValue("session"))
+	if !ok {
+		unknownSession(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, st.Snapshot())
+}
+
+func (h *Handler) handleClose(w http.ResponseWriter, r *http.Request) {
+	token := r.PathValue("session")
+	h.mu.Lock()
+	st, ok := h.sessions[token]
+	delete(h.sessions, token)
+	h.mu.Unlock()
+	if !ok {
+		unknownSession(w)
+		return
+	}
+	st.Close() // drains admitted requests, then releases the state
+	writeJSON(w, http.StatusOK, st.Snapshot())
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.srv.Snapshot())
+}
+
+// Binary codec helpers: little-endian float32, row-major.
+
+func encodeF32(src []float32) []byte {
+	out := make([]byte, 4*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+func decodeF32(raw []byte) ([]float32, error) {
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("binary body length %d is not a multiple of 4", len(raw))
+	}
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}
+
+func shapeHeader(shape []int) string {
+	parts := make([]string, len(shape))
+	for i, d := range shape {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseShapeHeader(s string) ([]int, error) {
+	if s == "" {
+		return nil, errors.New("binary submit requires the X-Edgetta-Shape header")
+	}
+	parts := strings.Split(s, ",")
+	shape := make([]int, len(parts))
+	for i, p := range parts {
+		d, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("parse X-Edgetta-Shape %q: %w", s, err)
+		}
+		shape[i] = d
+	}
+	return shape, nil
+}

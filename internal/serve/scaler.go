@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"time"
+
+	"edgetta/internal/core"
+)
+
+// Autoscale configures the per-group replica controller. The controller
+// consumes the same signals the group already publishes to the telemetry
+// registry — the pending-queue depth gauge and the e2e latency histogram's
+// p95 — and applies hysteresis so transient spikes and lulls do not churn
+// replicas: a scale decision needs its condition to hold for UpAfter
+// (resp. DownAfter) consecutive evaluation ticks, and the pool size is
+// always clamped to [Min, Max].
+//
+// Growth is one replica per decision (a deep model clone plus adapter —
+// deliberate: doubling strategies overshoot on pools this small), shrink
+// is one replica per decision, retired lazily by the next idle worker.
+type Autoscale struct {
+	// Enabled turns the controller on. When false every other field is
+	// ignored and groups keep their AddGroup replica count forever.
+	Enabled bool
+	// Min and Max clamp the pool size. Defaults: Min 1, Max Min+3.
+	Min, Max int
+	// UpDepthPerReplica is the growth trigger: scale up when the pending
+	// queue holds at least this many requests per live replica.
+	// Default 2.
+	UpDepthPerReplica int
+	// UpP95, when positive, is an additional growth trigger: scale up
+	// when the group's e2e p95 exceeds it while requests are queued.
+	UpP95 time.Duration
+	// UpAfter and DownAfter are the hysteresis windows: consecutive ticks
+	// the up (resp. down) condition must hold before acting.
+	// Defaults 2 and 5.
+	UpAfter, DownAfter int
+	// Interval is the evaluation period of the background controller.
+	// Default 250ms. Tests drive ticks explicitly via Server.ScaleTick
+	// with a long Interval.
+	Interval time.Duration
+}
+
+func (a Autoscale) withDefaults() Autoscale {
+	if !a.Enabled {
+		return a
+	}
+	if a.Min < 1 {
+		a.Min = 1
+	}
+	if a.Max < a.Min {
+		a.Max = a.Min + 3
+	}
+	if a.UpDepthPerReplica <= 0 {
+		a.UpDepthPerReplica = 2
+	}
+	if a.UpAfter <= 0 {
+		a.UpAfter = 2
+	}
+	if a.DownAfter <= 0 {
+		a.DownAfter = 5
+	}
+	if a.Interval <= 0 {
+		a.Interval = 250 * time.Millisecond
+	}
+	return a
+}
+
+// scaleLoop is the group's background controller: evaluate every Interval
+// until the group closes.
+func (g *group) scaleLoop() {
+	t := time.NewTicker(g.cfg.Autoscale.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stopScale:
+			return
+		case <-t.C:
+			g.scaleTick()
+		}
+	}
+}
+
+// scaleTick runs one controller evaluation: observe queue depth, active
+// dispatches and (optionally) e2e p95, update the hysteresis streaks, and
+// grow or retire one replica when a streak completes. It returns the live
+// replica count after any action, so tests can assert on it directly.
+//
+// Ticks are expected from one caller at a time (the background loop, or a
+// test driving Server.ScaleTick); the streak counters are not guarded for
+// concurrent tickers. All pool mutations happen under the group lock.
+func (g *group) scaleTick() int {
+	a := g.cfg.Autoscale
+	if !a.Enabled {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return len(g.replicas) - g.retire
+	}
+
+	g.mu.Lock()
+	live := len(g.replicas) - g.retire
+	depth := len(g.pending)
+	active := g.active
+	closed := g.closed
+	g.mu.Unlock()
+	if closed {
+		return live
+	}
+
+	up := live < a.Max && depth >= a.UpDepthPerReplica*live
+	if !up && live < a.Max && a.UpP95 > 0 && depth > 0 {
+		// Histogram summaries are memoized and internally locked; never
+		// read them under g.mu (see CONTRIBUTING "Never hold a hot lock
+		// across exposition").
+		up = g.e2eHist.Summary().P95 > a.UpP95
+	}
+	down := live > a.Min && depth == 0 && active < live
+
+	if up {
+		g.upStreak++
+		g.downStreak = 0
+	} else if down {
+		g.downStreak++
+		g.upStreak = 0
+	} else {
+		g.upStreak, g.downStreak = 0, 0
+	}
+
+	switch {
+	case g.upStreak >= a.UpAfter:
+		g.upStreak = 0
+		if err := g.grow(); err == nil {
+			live++
+		}
+	case g.downStreak >= a.DownAfter:
+		g.downStreak = 0
+		g.mu.Lock()
+		if len(g.replicas)-g.retire > a.Min {
+			g.retire++
+			g.scaleDowns++
+			live--
+			// Wake an idle worker so it can retire promptly.
+			g.cond.Broadcast()
+		}
+		g.mu.Unlock()
+	}
+	return live
+}
+
+// grow adds one replica to the pool: a fresh deep clone of the group's
+// pristine template wrapped in a new adapter — byte-identical to every
+// other replica at its frozen weights, so stateful state swapping restores
+// cleanly onto it and stateless outputs are unchanged. The clone happens
+// outside the group lock (it is the expensive part).
+func (g *group) grow() error {
+	a, err := core.New(g.algo, g.template.Clone(), g.acfg)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	// A pending retirement cancels out against growth: un-retiring keeps
+	// the already-built worker instead of stacking an exit and a spawn.
+	if g.retire > 0 {
+		g.retire--
+		g.scaleUps++
+		g.mu.Unlock()
+		return nil
+	}
+	r := &replica{id: g.nextReplicaID, adapter: a}
+	g.nextReplicaID++
+	g.scaleUps++
+	g.mu.Unlock()
+	g.startReplica(r)
+	return nil
+}

@@ -10,7 +10,10 @@
 // (algorithm, model tag). Each group owns a replica pool: deep clones of
 // the group's model (models.Model.Clone), each wrapped in its own adapter.
 // Replicas never share mutable memory, so Process calls on different
-// replicas run concurrently without interference.
+// replicas run concurrently without interference. With Config.Autoscale
+// enabled the pool is elastic: a per-group controller grows it under
+// sustained queue pressure and shrinks it when idle, between a min/max
+// clamp (see scaler.go).
 //
 // # Stateless vs. stateful serving
 //
@@ -34,20 +37,26 @@
 // parallel across replicas. Outputs are byte-identical to serial
 // per-stream runs — the package's determinism contract, pinned by tests.
 //
-// # Scheduling
+// # Scheduling, backpressure and admission
 //
 // Replica workers call into the model kernels, which parallelize on
 // internal/parallel's shared pool; the pool's nested-oversubscription
 // guard makes kernel loops issued from busy replicas degrade to inline
 // execution, so batch-level concurrency and kernel-level parallelism share
 // the same CPU budget instead of multiplying. Backpressure is a bounded
-// per-group pending queue: Submit blocks while the queue is full.
+// per-group pending queue with two admission policies: AdmitBlock (the
+// default) makes SubmitCtx wait for queue space, honoring the request
+// context's cancellation and deadline; AdmitShed rejects immediately with
+// a typed ErrOverloaded carrying the queue depth and a suggested
+// retry-after — the policy an off-box front-end wants, since a remote
+// client would rather get a 429 within its deadline than block. A request
+// is cancelable until a replica dispatches it; once processing starts it
+// runs to completion (partial adaptation steps are never observable).
 package serve
 
 import (
-	"errors"
+	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -55,12 +64,6 @@ import (
 	"edgetta/internal/models"
 	"edgetta/internal/parallel"
 	"edgetta/internal/telemetry"
-)
-
-// Errors reported through Response.Err or returned by Server methods.
-var (
-	ErrClosed       = errors.New("serve: server closed")
-	ErrStreamClosed = errors.New("serve: stream closed")
 )
 
 // GroupKey identifies a replica group. Requests may share replicas — and,
@@ -73,8 +76,22 @@ type GroupKey struct {
 // String formats the key the way the CLI and logs print it.
 func (k GroupKey) String() string { return fmt.Sprintf("%s/%s", k.ModelTag, k.Algo) }
 
-// Config tunes the server's batching and backpressure policy. The zero
-// value gets sensible defaults from withDefaults.
+// AdmissionPolicy selects what SubmitCtx does when the group's bounded
+// queue is full.
+type AdmissionPolicy int
+
+const (
+	// AdmitBlock waits for queue space (backpressure by blocking the
+	// submitter), honoring the request context while waiting.
+	AdmitBlock AdmissionPolicy = iota
+	// AdmitShed rejects immediately with ErrOverloaded (carrying the
+	// observed queue depth and a suggested retry-after) instead of
+	// blocking. Shed requests never consume a replica slot.
+	AdmitShed
+)
+
+// Config tunes the server's batching, backpressure and scaling policy.
+// The zero value gets sensible defaults from withDefaults.
 type Config struct {
 	// MaxBatch caps the images coalesced into one Process call of a
 	// stateless group (stateful groups never coalesce across requests).
@@ -84,14 +101,20 @@ type Config struct {
 	// compatible requests before firing anyway. 0 fires as soon as a
 	// worker is free, taking whatever is pending.
 	MaxLinger time.Duration
-	// QueueCap bounds each group's pending request queue; Submit blocks
-	// while the queue is full (backpressure). Default 64.
+	// QueueCap bounds each group's pending request queue. Default 64.
 	QueueCap int
+	// Admission selects the full-queue behavior: AdmitBlock (default)
+	// blocks the submitter, AdmitShed rejects with ErrOverloaded.
+	Admission AdmissionPolicy
+	// Autoscale, when Enabled, lets each group grow and shrink its
+	// replica pool between Min and Max driven by queue depth and e2e p95
+	// latency, with hysteresis (see Autoscale's field docs).
+	Autoscale Autoscale
 	// Registry, when non-nil, receives each group's serving metrics
-	// (queue depth, pending images, open streams, lifetime request/image/
-	// batch/coalesced counts, service and e2e latency histograms) labeled
-	// by group key. Nil disables metric publication entirely; every update
-	// site is then a single nil check.
+	// (queue depth, pending images, open streams, replica count, lifetime
+	// request/image/batch/coalesced/shed/canceled counts, service and e2e
+	// latency histograms) labeled by group key. Nil disables metric
+	// publication entirely; every update site is then a single nil check.
 	Registry *telemetry.Registry
 }
 
@@ -102,6 +125,7 @@ func (c Config) withDefaults() Config {
 	if c.QueueCap <= 0 {
 		c.QueueCap = 64
 	}
+	c.Autoscale = c.Autoscale.withDefaults()
 	return c
 }
 
@@ -112,7 +136,6 @@ type Server struct {
 	mu     sync.Mutex
 	groups map[GroupKey]*group
 	closed bool
-	wg     sync.WaitGroup
 }
 
 // New constructs an empty server; add replica groups with AddGroup.
@@ -121,16 +144,26 @@ func New(cfg Config) *Server {
 }
 
 // AddGroup registers a replica group serving algo over m with acfg. The
-// model is deep-cloned once per replica, so the caller's model is never
-// mutated. replicas <= 0 defaults to half the parallel pool width (at
-// least 1): replicas trade per-call kernel parallelism for batch-level
-// concurrency, and beyond the pool width extra replicas only add memory.
+// model is deep-cloned once per replica (plus one pristine template clone
+// kept for autoscale growth), so the caller's model is never mutated.
+// replicas <= 0 defaults to half the parallel pool width (at least 1):
+// replicas trade per-call kernel parallelism for batch-level concurrency,
+// and beyond the pool width extra replicas only add memory. When
+// autoscaling is enabled the initial count is clamped into [Min, Max].
 func (s *Server) AddGroup(m *models.Model, algo core.Algorithm, acfg core.Config, replicas int) (GroupKey, error) {
 	key := GroupKey{Algo: algo, ModelTag: m.Tag}
 	if replicas <= 0 {
 		replicas = parallel.Workers() / 2
 		if replicas < 1 {
 			replicas = 1
+		}
+	}
+	if a := s.cfg.Autoscale; a.Enabled {
+		if replicas < a.Min {
+			replicas = a.Min
+		}
+		if replicas > a.Max {
+			replicas = a.Max
 		}
 	}
 
@@ -150,10 +183,14 @@ func (s *Server) AddGroup(m *models.Model, algo core.Algorithm, acfg core.Config
 	g := &group{
 		key:       key,
 		cfg:       s.cfg,
+		algo:      algo,
+		acfg:      acfg,
+		template:  m.Clone(),
 		inC:       m.InC,
 		inHW:      m.InHW,
 		classes:   m.Classes,
 		streams:   make(map[int]*streamState),
+		stopScale: make(chan struct{}),
 		batchHist: &core.LatencyHist{},
 		e2eHist:   &core.LatencyHist{},
 	}
@@ -163,14 +200,16 @@ func (s *Server) AddGroup(m *models.Model, algo core.Algorithm, acfg core.Config
 		reg.RegisterHist("edgetta_serve_service_seconds", g.batchHist, "group", key.String())
 		reg.RegisterHist("edgetta_serve_e2e_seconds", g.e2eHist, "group", key.String())
 	}
+	pool := make([]*replica, 0, replicas)
 	for i := 0; i < replicas; i++ {
 		a, err := core.New(algo, m.Clone(), acfg)
 		if err != nil {
 			return GroupKey{}, err
 		}
-		g.replicas = append(g.replicas, &replica{id: i, adapter: a})
+		pool = append(pool, &replica{id: i, adapter: a})
 	}
-	if st, ok := g.replicas[0].adapter.(core.Stateful); ok {
+	g.nextReplicaID = replicas
+	if st, ok := pool[0].adapter.(core.Stateful); ok {
 		g.stateful = true
 		// The episode-start state every new stream begins from. All
 		// replicas are byte-identical clones, so replica 0's fresh state
@@ -187,12 +226,15 @@ func (s *Server) AddGroup(m *models.Model, algo core.Algorithm, acfg core.Config
 		return GroupKey{}, fmt.Errorf("serve: group %s already registered", key)
 	}
 	s.groups[key] = g
-	for _, r := range g.replicas {
-		s.wg.Add(1)
-		go func(r *replica) {
-			defer s.wg.Done()
-			g.serveLoop(r)
-		}(r)
+	for _, r := range pool {
+		g.startReplica(r)
+	}
+	if s.cfg.Autoscale.Enabled {
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			g.scaleLoop()
+		}()
 	}
 	return key, nil
 }
@@ -209,21 +251,16 @@ func (s *Server) OpenStream(key GroupKey) (*Stream, error) {
 		return nil, ErrClosed
 	}
 	if !ok {
-		return nil, fmt.Errorf("serve: no group %s", key)
+		return nil, errNoGroup(key)
 	}
 	return g.openStream(), nil
 }
 
 // Close drains the server: requests already submitted are served, new
 // submissions fail with ErrClosed, and Close returns once every replica
-// worker has exited.
+// worker (and autoscale controller) has exited.
 func (s *Server) Close() {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.wg.Wait()
-		return
-	}
 	s.closed = true
 	groups := make([]*group, 0, len(s.groups))
 	for _, g := range s.groups {
@@ -233,35 +270,30 @@ func (s *Server) Close() {
 	for _, g := range groups {
 		g.close()
 	}
-	s.wg.Wait()
-}
-
-// GroupStats reports a group's aggregate serving metrics.
-func (s *Server) GroupStats(key GroupKey) (GroupStats, error) {
-	s.mu.Lock()
-	g, ok := s.groups[key]
-	s.mu.Unlock()
-	if !ok {
-		return GroupStats{}, fmt.Errorf("serve: no group %s", key)
+	for _, g := range groups {
+		g.wg.Wait()
 	}
-	return g.stats(), nil
 }
 
-// Stats snapshots every group, sorted by key — the payload behind
-// ttaserve's /debug/streams endpoint.
-func (s *Server) Stats() []GroupStats {
+// ScaleTick runs one autoscale evaluation on every group immediately,
+// bypassing the periodic timer. It exists so tests (and operational
+// tooling) can drive the controller deterministically; it must not be
+// called concurrently with an enabled periodic ticker mid-run — use a
+// long Autoscale.Interval when driving scaling manually.
+func (s *Server) ScaleTick() {
 	s.mu.Lock()
 	groups := make([]*group, 0, len(s.groups))
 	for _, g := range s.groups {
 		groups = append(groups, g)
 	}
 	s.mu.Unlock()
-	sort.Slice(groups, func(i, j int) bool {
-		return groups[i].key.String() < groups[j].key.String()
-	})
-	out := make([]GroupStats, 0, len(groups))
 	for _, g := range groups {
-		out = append(out, g.stats())
+		g.scaleTick()
 	}
-	return out
+}
+
+// ctxErr translates a request context's error into the typed taxonomy;
+// helper shared by the submit paths.
+func ctxErr(ctx context.Context) *Error {
+	return errCtx(context.Cause(ctx))
 }

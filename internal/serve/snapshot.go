@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"edgetta/internal/core"
+)
+
+// Snapshot is the server-wide stats payload: every group, sorted by key.
+// It is the one stable wire shape shared by the Go API (Server.Snapshot),
+// the HTTP front-end's /debug/streams handler and the load generator —
+// the former ad-hoc per-caller structs are aliases of its parts. Field
+// order is fixed by the struct, so the JSON encoding is deterministic.
+type Snapshot struct {
+	Groups []GroupSnapshot `json:"groups"`
+}
+
+// GroupSnapshot is a group's aggregate serving metrics.
+type GroupSnapshot struct {
+	Key      GroupKey `json:"key"`
+	Replicas int      `json:"replicas"`
+	Stateful bool     `json:"stateful"`
+	// MinReplicas/MaxReplicas are the autoscaler clamp (zero when
+	// autoscaling is disabled); ScaleUps/ScaleDowns count its decisions.
+	MinReplicas int `json:"min_replicas,omitempty"`
+	MaxReplicas int `json:"max_replicas,omitempty"`
+	ScaleUps    int `json:"scale_ups,omitempty"`
+	ScaleDowns  int `json:"scale_downs,omitempty"`
+	// Batches counts adapter Process calls; Requests and Images count the
+	// submissions they served. MeanCoalesced = Images/Batches is the
+	// effective batching factor.
+	Batches  int `json:"batches"`
+	Requests int `json:"requests"`
+	Images   int `json:"images"`
+	// Coalesced is the lifetime count of requests that shared a Process
+	// call with at least one other request.
+	Coalesced     int     `json:"coalesced"`
+	MaxCoalesced  int     `json:"max_coalesced"`
+	MeanCoalesced float64 `json:"mean_coalesced"`
+	// Shed counts requests rejected at admission (AdmitShed full-queue
+	// rejections); Canceled counts requests whose context expired while
+	// queued. Neither consumed a replica slot.
+	Shed     int `json:"shed"`
+	Canceled int `json:"canceled"`
+	// QueueDepth is the pending-queue length at snapshot time;
+	// MaxQueueDepth its lifetime peak (bounded by QueueCap).
+	QueueDepth    int `json:"queue_depth"`
+	PendingImages int `json:"pending_images"`
+	MaxQueueDepth int `json:"max_queue_depth"`
+	// Service is per-Process wall time; E2E is per-request submit-to-
+	// response time (queue wait + service).
+	Service LatencySnapshot `json:"service"`
+	E2E     LatencySnapshot `json:"e2e"`
+	// Streams snapshots every open stream, ascending by ID.
+	Streams []StreamSnapshot `json:"streams"`
+}
+
+// StreamSnapshot summarizes one stream's served requests.
+type StreamSnapshot struct {
+	ID       int `json:"id"`
+	Requests int `json:"requests"`
+	Images   int `json:"images"`
+	// E2E is the submit-to-response latency distribution.
+	E2E LatencySnapshot `json:"e2e"`
+}
+
+// LatencySnapshot is a latency distribution in the stable wire shape.
+// Durations marshal as integer nanoseconds (the encoding/json rendering
+// of time.Duration), so the encoding is exact and deterministic.
+type LatencySnapshot struct {
+	Count int           `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// newLatencySnapshot copies a histogram summary into the wire shape.
+func newLatencySnapshot(s core.LatencySummary) LatencySnapshot {
+	return LatencySnapshot{Count: s.Count, Mean: s.Mean, P50: s.P50, P95: s.P95, P99: s.P99, Max: s.Max}
+}
+
+// String formats the snapshot's headline numbers the way the CLI prints
+// latency summaries.
+func (l LatencySnapshot) String() string {
+	if l.Count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("p50=%v p95=%v p99=%v max=%v (n=%d)",
+		l.P50.Round(time.Microsecond), l.P95.Round(time.Microsecond),
+		l.P99.Round(time.Microsecond), l.Max.Round(time.Microsecond), l.Count)
+}
+
+// groupKeyJSON is GroupKey's wire form: both halves as strings, so the
+// payload never leaks the numeric Algorithm enum.
+type groupKeyJSON struct {
+	Model string `json:"model"`
+	Algo  string `json:"algo"`
+}
+
+// MarshalJSON renders the key with its algorithm spelled the paper's way.
+func (k GroupKey) MarshalJSON() ([]byte, error) {
+	return json.Marshal(groupKeyJSON{Model: k.ModelTag, Algo: k.Algo.String()})
+}
+
+// UnmarshalJSON parses the wire form, accepting any spelling
+// core.ParseAlgorithm does.
+func (k *GroupKey) UnmarshalJSON(b []byte) error {
+	var w groupKeyJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	algo, err := core.ParseAlgorithm(w.Algo)
+	if err != nil {
+		return err
+	}
+	k.ModelTag = w.Model
+	k.Algo = algo
+	return nil
+}
+
+// Deprecated aliases: the pre-redesign names for the snapshot shapes.
+type (
+	// GroupStats is the old name of GroupSnapshot.
+	//
+	// Deprecated: use GroupSnapshot.
+	GroupStats = GroupSnapshot
+	// StreamStats is the old name of StreamSnapshot.
+	//
+	// Deprecated: use StreamSnapshot.
+	StreamStats = StreamSnapshot
+)
+
+// Snapshot snapshots every group, sorted by key — the payload behind the
+// HTTP front-end's /debug/streams endpoint.
+func (s *Server) Snapshot() Snapshot {
+	s.mu.Lock()
+	groups := make([]*group, 0, len(s.groups))
+	for _, g := range s.groups {
+		groups = append(groups, g)
+	}
+	s.mu.Unlock()
+	sort.Slice(groups, func(i, j int) bool {
+		return groups[i].key.String() < groups[j].key.String()
+	})
+	out := Snapshot{Groups: make([]GroupSnapshot, 0, len(groups))}
+	for _, g := range groups {
+		out.Groups = append(out.Groups, g.snapshot())
+	}
+	return out
+}
+
+// GroupSnapshot reports one group's aggregate serving metrics.
+func (s *Server) GroupSnapshot(key GroupKey) (GroupSnapshot, error) {
+	s.mu.Lock()
+	g, ok := s.groups[key]
+	s.mu.Unlock()
+	if !ok {
+		return GroupSnapshot{}, errNoGroup(key)
+	}
+	return g.snapshot(), nil
+}
+
+// GroupStats reports a group's aggregate serving metrics.
+//
+// Deprecated: use GroupSnapshot, which this aliases.
+func (s *Server) GroupStats(key GroupKey) (GroupSnapshot, error) { return s.GroupSnapshot(key) }
+
+// Stats snapshots every group, sorted by key.
+//
+// Deprecated: use Snapshot, which this wraps.
+func (s *Server) Stats() []GroupSnapshot { return s.Snapshot().Groups }
+
+// snapshot snapshots the group. The group lock covers only the plain-field
+// copy; percentile computation (which sorts up to a full histogram window)
+// runs after release, against the internally locked histograms, so a slow
+// scrape never stalls the dispatch path.
+func (g *group) snapshot() GroupSnapshot {
+	g.mu.Lock()
+	s := GroupSnapshot{
+		Key:           g.key,
+		Replicas:      len(g.replicas) - g.retire,
+		Stateful:      g.stateful,
+		ScaleUps:      g.scaleUps,
+		ScaleDowns:    g.scaleDowns,
+		Batches:       g.batches,
+		Requests:      g.requests,
+		Images:        g.images,
+		Coalesced:     g.coalesced,
+		MaxCoalesced:  g.maxCoalesced,
+		Shed:          g.shed,
+		Canceled:      g.canceled,
+		QueueDepth:    len(g.pending),
+		PendingImages: g.pendingImages,
+		MaxQueueDepth: g.queueMax,
+	}
+	if a := g.cfg.Autoscale; a.Enabled {
+		s.MinReplicas, s.MaxReplicas = a.Min, a.Max
+	}
+	type streamRef struct {
+		ss  StreamSnapshot
+		e2e *core.LatencyHist
+	}
+	refs := make([]streamRef, 0, len(g.streams))
+	for _, st := range g.streams {
+		refs = append(refs, streamRef{
+			ss:  StreamSnapshot{ID: st.id, Requests: st.requests, Images: st.images},
+			e2e: &st.e2e,
+		})
+	}
+	g.mu.Unlock()
+
+	s.Service = newLatencySnapshot(g.batchHist.Summary())
+	s.E2E = newLatencySnapshot(g.e2eHist.Summary())
+	if s.Batches > 0 {
+		s.MeanCoalesced = float64(s.Images) / float64(s.Batches)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].ss.ID < refs[j].ss.ID })
+	for _, r := range refs {
+		r.ss.E2E = newLatencySnapshot(r.e2e.Summary())
+		s.Streams = append(s.Streams, r.ss)
+	}
+	return s
+}

@@ -1,7 +1,8 @@
 package serve
 
 import (
-	"edgetta/internal/core"
+	"context"
+
 	"edgetta/internal/tensor"
 )
 
@@ -17,55 +18,79 @@ type Stream struct {
 // ID returns the stream's identifier within its group.
 func (s *Stream) ID() int { return s.st.id }
 
-// Submit enqueues one batch and returns immediately; the response arrives
-// on the returned buffered channel. Submit blocks only for backpressure
-// (the group's pending queue is full). A stream may pipeline submissions:
-// stateful groups still process them one at a time in order.
-func (s *Stream) Submit(x *tensor.Tensor) <-chan Response {
-	return s.g.submit(s.st, x)
+// SubmitCtx enqueues one batch and returns immediately; the response
+// arrives on the returned buffered channel. The context governs the
+// request until a replica dispatches it: a cancellation or deadline
+// expiry while the request is blocked on admission or waiting in the
+// queue delivers a typed *Error (CodeCanceled / CodeDeadline) instead of
+// logits, and frees the queue slot. Once dispatched, the request runs to
+// completion — a stream never observes a half-applied adaptation step.
+//
+// Under Config.Admission == AdmitShed a full queue fails the submission
+// immediately with ErrOverloaded instead of blocking. A stream may
+// pipeline submissions: stateful groups still process them one at a time
+// in order.
+func (s *Stream) SubmitCtx(ctx context.Context, x *tensor.Tensor) <-chan Response {
+	return s.g.submit(ctx, s.st, x)
 }
 
-// Process is the synchronous form of Submit: it returns the logits for
-// the batch, one row per image.
+// ProcessCtx is the synchronous form of SubmitCtx: it returns the logits
+// for the batch, one row per image. If the context expires after dispatch
+// (while a replica is computing), ProcessCtx returns the typed context
+// error without waiting; the work still completes server-side and the
+// stream's adaptation state advances exactly as if the response had been
+// read.
+func (s *Stream) ProcessCtx(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	ch := s.SubmitCtx(ctx, x)
+	select {
+	case r := <-ch:
+		return r.Logits, r.Err
+	case <-ctx.Done():
+		return nil, ctxErr(ctx)
+	}
+}
+
+// Submit enqueues one batch with no cancellation or deadline.
+//
+// Deprecated: use SubmitCtx. Submit is SubmitCtx(context.Background(), x):
+// it blocks indefinitely on a full queue under AdmitBlock.
+func (s *Stream) Submit(x *tensor.Tensor) <-chan Response {
+	return s.SubmitCtx(context.Background(), x)
+}
+
+// Process is the synchronous form of Submit.
+//
+// Deprecated: use ProcessCtx.
 func (s *Stream) Process(x *tensor.Tensor) (*tensor.Tensor, error) {
 	r := <-s.Submit(x)
 	return r.Logits, r.Err
 }
 
-// Stats reports the stream's serving metrics so far. The group lock
+// Snapshot reports the stream's serving metrics so far. The group lock
 // covers only the counter copy; the percentile summary is computed
 // against the internally locked histogram after release.
-func (s *Stream) Stats() StreamStats {
+func (s *Stream) Snapshot() StreamSnapshot {
 	s.g.mu.Lock()
-	ss := StreamStats{
+	ss := StreamSnapshot{
 		ID:       s.st.id,
 		Requests: s.st.requests,
 		Images:   s.st.images,
 	}
 	s.g.mu.Unlock()
-	ss.E2E = s.st.e2e.Summary()
+	ss.E2E = newLatencySnapshot(s.st.e2e.Summary())
 	return ss
 }
 
-// Close ends the episode: later Submits fail with ErrStreamClosed and the
-// stream's adaptation state is released. Requests already submitted are
-// still served.
-func (s *Stream) Close() {
-	s.g.mu.Lock()
-	s.st.closed = true
-	delete(s.g.streams, s.st.id)
-	if s.g.met != nil {
-		s.g.met.openStreams.Set(int64(len(s.g.streams)))
-	}
-	s.g.cond.Broadcast()
-	s.g.mu.Unlock()
-}
+// Stats reports the stream's serving metrics so far.
+//
+// Deprecated: use Snapshot, which this aliases.
+func (s *Stream) Stats() StreamSnapshot { return s.Snapshot() }
 
-// StreamStats summarizes one stream's served requests.
-type StreamStats struct {
-	ID       int
-	Requests int
-	Images   int
-	// E2E is the submit-to-response latency distribution.
-	E2E core.LatencySummary
+// Close ends the episode with drain-then-release semantics: later submits
+// fail with ErrStreamClosed, requests already admitted are still served,
+// and Close blocks until the last of them has finished before releasing
+// the stream's adaptation state (a queued request references that state,
+// so releasing early would race the worker that dispatches it).
+func (s *Stream) Close() {
+	s.g.closeStream(s.st)
 }

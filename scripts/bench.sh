@@ -2,26 +2,36 @@
 # scripts/bench.sh — record a benchmark baseline for this repository.
 #
 # Runs the tier-1 real-execution benchmarks at a pinned worker count and
-# writes the best-of-N results as JSON (default BENCH_8.json), so each PR
+# writes the best-of-N results as JSON (default BENCH_9.json), so each PR
 # can leave a comparable perf datapoint next to the code it changed. The
 # traced WRN forward records the telemetry overhead next to its untraced
-# twin; their ratio is the enabled-tracing cost on a real workload.
+# twin; their ratio is the enabled-tracing cost on a real workload. The
+# serving curve (ttaload's throughput-vs-stream-count sweep through the
+# HTTP wire API) is embedded under "serve_curve".
 #
 # Usage: scripts/bench.sh [out.json]
 #   EDGETTA_WORKERS  pool width to pin (default 1 — the 1-core dev box)
 #   BENCH_COUNT      repetitions per benchmark; the minimum is kept (default 3)
 #   BENCH_TIME       go test -benchtime value (default 5x)
+#   SERVE_CURVE      stream counts for the serving sweep (default 1,2,4,8)
+#   SERVE_SAMPLES    samples per stream in the sweep (default 48)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_8.json}"
+OUT="${1:-BENCH_9.json}"
 WORKERS="${EDGETTA_WORKERS:-1}"
 COUNT="${BENCH_COUNT:-3}"
 TIME="${BENCH_TIME:-5x}"
 PATTERN='^(BenchmarkConv3x3Forward|BenchmarkConv3x3ForwardIm2Col|BenchmarkConv3x3ForwardFMA|BenchmarkConv1x1Forward|BenchmarkMatMul256|BenchmarkFullScaleWRNForward|BenchmarkFullScaleWRNForwardTraced|BenchmarkInferenceRepro|BenchmarkBNNormRepro|BenchmarkBNOptRepro|BenchmarkScenarioStream)$'
 
+CURVE="${SERVE_CURVE:-1,2,4,8}"
+CURVE_SAMPLES="${SERVE_SAMPLES:-48}"
+
 RAW="$(EDGETTA_WORKERS="$WORKERS" go test -run=NONE -bench="$PATTERN" -benchtime="$TIME" -count="$COUNT" .)"
 printf '%s\n' "$RAW"
+
+SERVE_JSON="$(EDGETTA_WORKERS="$WORKERS" go run ./cmd/ttaload \
+	-curve "$CURVE" -samples "$CURVE_SAMPLES" -batch 8 -out -)"
 
 {
 	printf '{\n'
@@ -31,6 +41,7 @@ printf '%s\n' "$RAW"
 	printf '  "workers": %s,\n' "$WORKERS"
 	printf '  "benchtime": "%s",\n' "$TIME"
 	printf '  "count": %s,\n' "$COUNT"
+	printf '  "serve_curve": %s,\n' "$SERVE_JSON"
 	printf '  "ns_per_op": {\n'
 	printf '%s\n' "$RAW" | awk '
 		/^Benchmark/ {
