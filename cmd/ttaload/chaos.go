@@ -1,0 +1,410 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edgetta/internal/core"
+	"edgetta/internal/data"
+	"edgetta/internal/models"
+	"edgetta/internal/serve"
+	"edgetta/internal/serve/chaos"
+	"edgetta/internal/serve/httpapi"
+	"edgetta/internal/tensor"
+)
+
+// Chaos mode (-chaos seed): a seeded fault-recovery scenario that doubles
+// as the serving tier's end-to-end correctness check. It self-hosts a
+// stateful group with a chaos injector (replica panics, a slow replica, a
+// checkpoint-write failure), drives named sequenced sessions through it,
+// and — halfway through the workload — kills the whole server and brings
+// up a fresh one on the same checkpoint directory. Clients ride the faults
+// with seeded-backoff retries and sequence rewinds.
+//
+// Every response is verified bitwise against a serial reference run of the
+// same streams through private adapters. Because adaptation state advances
+// deterministically batch by batch, a single lost or double-adapted batch
+// anywhere would shift the state and break parity for every later batch of
+// that session — so zero mismatches is a proof of exactly-once adaptation
+// across panics, watchdog kills, retries, and the restart.
+
+type chaosDoc struct {
+	Bench    string `json:"bench"`
+	Seed     int64  `json:"seed"`
+	Model    string `json:"model"`
+	Algo     string `json:"algo"`
+	Sessions int    `json:"sessions"`
+	Batches  int    `json:"batches_per_session"`
+	Batch    int    `json:"batch"`
+	// Fault-schedule audit: what the injector actually fired, in order.
+	Injected []string `json:"injected"`
+	Panics   int      `json:"injected_panics"`
+	Restarts int      `json:"restarts"`
+	// Server-side health counters summed over both server incarnations.
+	Faults             int `json:"faults"`
+	Respawns           int `json:"respawns"`
+	CheckpointWrites   int `json:"checkpoint_writes"`
+	CheckpointFailures int `json:"checkpoint_failures"`
+	// Verification: parity of every served batch against the serial
+	// reference, plus the applied-image conservation check.
+	TotalBatches      int `json:"total_batches"`
+	ServedBatches     int `json:"served_batches"`
+	MismatchedBatches int `json:"mismatched_batches"`
+	ServerImages      int `json:"server_images"`
+	ExpectedImages    int `json:"expected_images"`
+	// ReplayedImages is ServerImages - ExpectedImages: the batches
+	// re-applied on the fresh server between a session's last checkpoint
+	// and its last applied batch. Replay is inherent to checkpoint-based
+	// recovery and provably harmless — the recovered state equals the
+	// reference state at the checkpoint, so replayed batches produce
+	// bitwise-identical logits (which the parity check verifies). The
+	// verdict bounds it by the worst-case checkpoint lag.
+	ReplayedImages int `json:"replayed_images"`
+	ClientRetries  int `json:"client_retries"`
+	// Recovery latency (fault to the group's next served batch), from the
+	// server phase that absorbed the faults.
+	RecoverySamples int     `json:"recovery_samples"`
+	RecoveryP50MS   float64 `json:"recovery_p50_ms"`
+	RecoveryP95MS   float64 `json:"recovery_p95_ms"`
+}
+
+// chaosCkptEvery is the checkpoint cadence both server incarnations run
+// with; the verdict's replay bound is derived from it.
+const chaosCkptEvery = 2
+
+// chaosSession is one named stream's materialized workload and reference.
+type chaosSession struct {
+	name string
+	xs   []*tensor.Tensor
+	ref  [][]float32
+}
+
+// runChaos executes the scenario and returns the filled report; any lost,
+// mismatched, or unserved batch is the caller's failure signal.
+func runChaos(seed int64, modelTag, algoName string, sessions, samples, batch, severity, replicas int) (*chaosDoc, error) {
+	algo, err := core.ParseAlgorithm(algoName)
+	if err != nil {
+		return nil, err
+	}
+	m, err := models.ByTag(modelTag, rand.New(rand.NewSource(1)), models.ReproScale)
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialize every batch and its reference logits up front: sequence
+	// rewinds after a recovery must resubmit the identical bytes.
+	work := make([]*chaosSession, sessions)
+	total := 0
+	for i := range work {
+		cs := &chaosSession{name: fmt.Sprintf("chaos-%d-%d", seed, i)}
+		a, err := core.New(algo, m.Clone(), core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		s := data.NewGenerator(1).NewStream(int64(1000+i), samples, data.AllCorruptions[i%len(data.AllCorruptions)], severity)
+		for {
+			x, _, ok := s.Next(batch)
+			if !ok {
+				break
+			}
+			cs.xs = append(cs.xs, x)
+			cs.ref = append(cs.ref, a.Process(x).Clone().Data)
+		}
+		total += len(cs.xs)
+		work[i] = cs
+	}
+	if total < 8 {
+		return nil, fmt.Errorf("-chaos needs at least 8 total batches for a meaningful schedule (have %d; raise -samples)", total)
+	}
+	restartAt := total / 2
+
+	// The fault schedule: >=3 replica panics, one slow replica, and one
+	// failed checkpoint write, all inside the pre-restart half so the run
+	// is guaranteed to exercise them. State poisoning is deliberately
+	// excluded here — a numeric-guard reset changes the adaptation
+	// trajectory by design, which would (correctly) break the bitwise
+	// parity this mode verifies; the guard has its own unit tests.
+	sp := chaos.Seeded(seed, 3, restartAt)
+	plan := chaos.Plan{PanicAt: sp.PanicAt, DelayAt: sp.DelayAt, Delay: sp.Delay, CheckpointFailAt: sp.CheckpointFailAt}
+	inj := chaos.NewInjector(plan)
+
+	ckptDir, err := os.MkdirTemp("", "edgetta-chaos-ckpt-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(ckptDir)
+
+	srvA, lnA, baseA, err := chaosHost(m, algo, inj, ckptDir, replicas)
+	if err != nil {
+		return nil, err
+	}
+	key := serve.GroupKey{Algo: algo, ModelTag: m.Tag}
+	host := &hostHolder{base: baseA}
+
+	// Restart controller: once half the workload has been served, tear the
+	// whole server down (listener included) and bring up a fresh process-
+	// equivalent on the same checkpoint directory. snapA keeps phase A's
+	// counters; clients find phase B through the host holder.
+	var progress atomic.Int64
+	var snapA serve.GroupSnapshot
+	var srvB *serve.Server
+	var lnB net.Listener
+	restartDone := make(chan error, 1)
+	go func() {
+		for progress.Load() < int64(restartAt) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		lnA.Close()
+		srvA.Close()
+		snapA, _ = srvA.GroupSnapshot(key)
+		var base string
+		var err error
+		srvB, lnB, base, err = chaosHost(m, algo, inj, ckptDir, replicas)
+		if err != nil {
+			restartDone <- err
+			return
+		}
+		host.set(base)
+		restartDone <- nil
+	}()
+
+	type sessionResult struct {
+		served, mismatched, retries int
+		err                         error
+	}
+	results := make([]sessionResult, sessions)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(5 * time.Minute)
+	for i := range work {
+		wg.Add(1)
+		go func(i int, cs *chaosSession) {
+			defer wg.Done()
+			r := &results[i]
+			seq := uint64(0) // last sequence number confirmed applied
+			seen := make([]bool, len(cs.xs))
+			for seq < uint64(len(cs.xs)) {
+				if time.Now().After(deadline) {
+					r.err = fmt.Errorf("session %s: deadline exceeded at seq %d", cs.name, seq)
+					return
+				}
+				c := httpapi.NewClient(host.get(), nil).WithRetry(httpapi.RetryPolicy{
+					MaxAttempts: 8, Base: 5 * time.Millisecond, Cap: 500 * time.Millisecond,
+					Seed: seed*1000 + int64(i),
+				})
+				c.Binary = true
+				stream, resumeSeq, err := c.OpenSession(modelTag, algoName, cs.name)
+				if err != nil {
+					// Server down (mid-restart) or session still registered
+					// on the dying incarnation; back off and retry.
+					time.Sleep(20 * time.Millisecond)
+					continue
+				}
+				if resumeSeq < seq {
+					// The checkpoint trails what we saw applied; resubmit
+					// from the checkpoint — the server deduplicates, and the
+					// replays must still match the reference bitwise.
+					seq = resumeSeq
+				}
+				for seq < uint64(len(cs.xs)) {
+					logits, err := stream.ProcessSeq(cs.xs[seq], seq+1)
+					if err != nil {
+						var se *serve.Error
+						if errors.As(err, &se) && se.Code == serve.CodeSequence && se.ExpectSeq > 0 {
+							seq = se.ExpectSeq - 1
+							continue
+						}
+						r.retries++
+						break // reopen against the current host
+					}
+					if !bitEqual(logits.Data, cs.ref[seq]) {
+						r.mismatched++
+					}
+					if !seen[seq] {
+						seen[seq] = true
+						r.served++
+						progress.Add(1)
+					}
+					seq++
+				}
+			}
+		}(i, work[i])
+	}
+	wg.Wait()
+	if err := <-restartDone; err != nil {
+		return nil, fmt.Errorf("restart failed: %w", err)
+	}
+	snapB, _ := srvB.GroupSnapshot(key)
+	lnB.Close()
+	srvB.Close()
+
+	doc := &chaosDoc{
+		Bench: "serve_chaos", Seed: seed, Model: modelTag, Algo: algoName,
+		Sessions: sessions, Batches: total / sessions, Batch: batch,
+		Injected: inj.Injected(), Restarts: 1,
+		TotalBatches: total, ExpectedImages: total * batch,
+	}
+	for _, line := range doc.Injected {
+		if strings.HasPrefix(line, "panic:") {
+			doc.Panics++
+		}
+	}
+	for i := range results {
+		if results[i].err != nil {
+			return doc, results[i].err
+		}
+		doc.ServedBatches += results[i].served
+		doc.MismatchedBatches += results[i].mismatched
+		doc.ClientRetries += results[i].retries
+	}
+	for _, s := range []serve.GroupSnapshot{snapA, snapB} {
+		doc.Faults += s.Faults
+		doc.Respawns += s.Respawns
+		doc.CheckpointWrites += s.CheckpointWrites
+		doc.CheckpointFailures += s.CheckpointFailures
+		doc.ServerImages += s.Images
+		if s.Recovery.Count > doc.RecoverySamples {
+			doc.RecoverySamples = s.Recovery.Count
+			doc.RecoveryP50MS = float64(s.Recovery.P50.Microseconds()) / 1e3
+			doc.RecoveryP95MS = float64(s.Recovery.P95.Microseconds()) / 1e3
+		}
+	}
+	if v := doc.ServerImages - doc.ExpectedImages; v > 0 {
+		doc.ReplayedImages = v
+	}
+	return doc, nil
+}
+
+// chaosVerdict checks the report's invariants and returns the failures.
+// "Zero lost / zero double-adapted" is judged on the logical session
+// trajectory: every batch served exactly once from the client's view, and
+// every response bitwise equal to the serial reference — a batch applied
+// twice on a live trajectory shifts the adaptation state and breaks parity
+// for everything after it, so parity IS the double-adaptation check.
+// Checkpoint replay after the restart re-applies post-checkpoint batches
+// on the fresh server; that is bounded by the checkpoint lag, not zero.
+func chaosVerdict(doc *chaosDoc) []string {
+	var bad []string
+	if doc.ServedBatches != doc.TotalBatches {
+		bad = append(bad, fmt.Sprintf("lost batches: served %d of %d", doc.ServedBatches, doc.TotalBatches))
+	}
+	if doc.MismatchedBatches > 0 {
+		bad = append(bad, fmt.Sprintf("%d batches diverged from the serial reference", doc.MismatchedBatches))
+	}
+	if doc.ServerImages < doc.ExpectedImages {
+		bad = append(bad, fmt.Sprintf("server adapted %d images, expected at least %d (lost work)",
+			doc.ServerImages, doc.ExpectedImages))
+	}
+	// Worst-case legitimate replay per session: the checkpoint can trail
+	// the applied position by up to 2*Every-1 batches (cadence lag plus
+	// one failed write keeping the previous checkpoint).
+	if limit := doc.Sessions * (2*chaosCkptEvery - 1) * doc.Batch; doc.ReplayedImages > limit {
+		bad = append(bad, fmt.Sprintf("%d images replayed, beyond the checkpoint-lag bound %d (double-adapted work)",
+			doc.ReplayedImages, limit))
+	}
+	if doc.Panics < 3 {
+		bad = append(bad, fmt.Sprintf("only %d replica panics fired (want >=3); schedule did not exercise recovery", doc.Panics))
+	}
+	return bad
+}
+
+// chaosMain is the -chaos entry point: run, report, exit non-zero on any
+// violated invariant.
+func chaosMain(seed int64, modelTag, algoName string, sessions, samples, batch, severity, replicas int, out string) {
+	start := time.Now()
+	doc, err := runChaos(seed, modelTag, algoName, sessions, samples, batch, severity, replicas)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("chaos seed %d: %d sessions x %d batches (%s/%s), 1 full restart\n",
+		seed, doc.Sessions, doc.Batches, doc.Model, doc.Algo)
+	for _, line := range doc.Injected {
+		fmt.Printf("  injected %s\n", line)
+	}
+	fmt.Printf("faults: %d quarantines, %d respawns, %d/%d checkpoints written, %d client retries\n",
+		doc.Faults, doc.Respawns, doc.CheckpointWrites, doc.CheckpointWrites+doc.CheckpointFailures, doc.ClientRetries)
+	if doc.RecoverySamples > 0 {
+		fmt.Printf("recovery: p50=%.1fms p95=%.1fms (n=%d)\n", doc.RecoveryP50MS, doc.RecoveryP95MS, doc.RecoverySamples)
+	}
+	fmt.Printf("verify: %d/%d batches served, %d mismatched, %d/%d images adapted (%d replayed from checkpoint), wall %v\n",
+		doc.ServedBatches, doc.TotalBatches, doc.MismatchedBatches,
+		doc.ServerImages, doc.ExpectedImages, doc.ReplayedImages,
+		time.Since(start).Round(time.Millisecond))
+
+	if out != "" {
+		enc, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		enc = append(enc, '\n')
+		if out == "-" {
+			os.Stdout.Write(enc)
+		} else if err := os.WriteFile(out, enc, 0o644); err != nil {
+			fatal(err)
+		} else {
+			fmt.Printf("wrote %s\n", out)
+		}
+	}
+	if bad := chaosVerdict(doc); len(bad) != 0 {
+		for _, b := range bad {
+			fmt.Fprintln(os.Stderr, "ttaload: chaos FAIL:", b)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("chaos PASS: zero lost batches, zero double-adapted batches, recovered sessions bitwise-identical to reference")
+}
+
+// chaosHost builds one server incarnation: a single stateful group with
+// the injector, a watchdog, and disk checkpointing every 2 batches.
+func chaosHost(m *models.Model, algo core.Algorithm, inj serve.FaultInjector, ckptDir string, replicas int) (*serve.Server, net.Listener, string, error) {
+	cfg := serve.Config{
+		QueueCap:   64,
+		Watchdog:   30 * time.Second,
+		Checkpoint: serve.CheckpointConfig{Every: chaosCkptEvery, Dir: ckptDir},
+		Injector:   inj,
+	}
+	srv := serve.New(cfg)
+	if _, err := srv.AddGroup(m, algo, core.Config{}, replicas); err != nil {
+		srv.Close()
+		return nil, nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, nil, "", err
+	}
+	go http.Serve(ln, httpapi.New(srv, httpapi.Config{}))
+	return srv, ln, "http://" + ln.Addr().String(), nil
+}
+
+// hostHolder publishes the current server base URL across the restart.
+type hostHolder struct {
+	mu   sync.Mutex
+	base string
+}
+
+func (h *hostHolder) get() string  { h.mu.Lock(); defer h.mu.Unlock(); return h.base }
+func (h *hostHolder) set(b string) { h.mu.Lock(); defer h.mu.Unlock(); h.base = b }
+
+// bitEqual compares float32 slices bit-for-bit (NaN-safe, -0 != +0 —
+// exactly the determinism contract's notion of identical).
+func bitEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -19,6 +19,14 @@
 //	ttaload -curve 1,2,4,8 -samples 64            # self-hosted
 //	ttaload -addr http://edge-box:8080 -curve 1,4  # remote ttaserve
 //	ttaload -curve 1,2,4 -out BENCH_9.json         # machine-readable curve
+//	ttaload -chaos 1 -samples 16 -batch 4          # seeded fault-recovery scenario
+//
+// -chaos runs the seeded fault-recovery scenario instead of the curve: a
+// self-hosted stateful group takes injected replica panics, a slow
+// replica, a checkpoint-write failure, and one full server restart while
+// named sequenced sessions replay corruption streams through seeded-
+// backoff retries; every response is verified bitwise against a serial
+// reference run (see chaos.go). Exit status is the verdict.
 package main
 
 import (
@@ -82,10 +90,19 @@ func main() {
 	replicas := flag.Int("replicas", 0, "self-hosted replicas per group (0 = auto)")
 	workers := flag.Int("workers", 0, "parallel pool width (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "write the curve as JSON to this file ('-' = stdout, suppresses the table)")
+	chaosSeed := flag.Int64("chaos", 0, "run the seeded fault-recovery scenario with this seed instead of the curve (self-hosted; 0 = off)")
+	chaosSessions := flag.Int("chaos-sessions", 3, "concurrent named sessions in the chaos scenario")
 	flag.Parse()
 
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
+	}
+	if *chaosSeed != 0 {
+		if *addr != "" {
+			fatal(fmt.Errorf("-chaos self-hosts its own servers (fault injection is in-process); drop -addr"))
+		}
+		chaosMain(*chaosSeed, *modelTag, *statefulAlgo, *chaosSessions, *samples, *batch, *severity, *replicas, *out)
+		return
 	}
 	counts, err := parseCurve(*curve)
 	if err != nil {

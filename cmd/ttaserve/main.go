@@ -12,6 +12,8 @@
 //	ttaserve -http :8080 -hold 1m                        # observability endpoints
 //	ttaserve -http :8080 -streams 0                      # serve-only (wire API)
 //	ttaserve -http :8080 -streams 0 -scale 1:8 -admission shed
+//	ttaserve -http :8080 -streams 0 -watchdog 5s \
+//	         -checkpoint-every 4 -recover /var/lib/edgetta/ckpt
 //
 // With -http, the server exposes the serving wire API (POST /v1/streams,
 // POST /v1/streams/{session}/submit, DELETE /v1/streams/{session} — see
@@ -66,6 +68,9 @@ func main() {
 	httpAddr := flag.String("http", "", "serve the wire API, /metrics, /debug/streams and /debug/trace on this address (empty = off)")
 	hold := flag.Duration("hold", 0, "keep serving the HTTP endpoints this long after the workload finishes")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the workload to this file")
+	watchdog := flag.Duration("watchdog", 0, "per-Process watchdog: a replica producing no result within this deadline is quarantined and replaced (0 = off)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint each named session's adaptation state every K applied batches (0 = off)")
+	recoverDir := flag.String("recover", "", "checkpoint spill directory: sessions checkpoint to disk here and resume from it across restarts")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -79,7 +84,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := serve.Config{MaxBatch: *maxBatch, MaxLinger: *linger, QueueCap: *queueCap}
+	cfg := serve.Config{
+		MaxBatch: *maxBatch, MaxLinger: *linger, QueueCap: *queueCap,
+		Watchdog:   *watchdog,
+		Checkpoint: serve.CheckpointConfig{Every: *ckptEvery, Dir: *recoverDir},
+	}
+	if *recoverDir != "" && *ckptEvery == 0 {
+		// A spill directory without a cadence would scan but never write;
+		// default to a sensible cadence so -recover alone works.
+		cfg.Checkpoint.Every = 8
+	}
 	switch *admission {
 	case "block":
 		cfg.Admission = serve.AdmitBlock
@@ -136,7 +150,14 @@ func main() {
 	if snap.MaxReplicas > 0 {
 		fmt.Printf(", autoscale %d:%d", snap.MinReplicas, snap.MaxReplicas)
 	}
-	fmt.Printf("\n\n")
+	if *watchdog > 0 {
+		fmt.Printf(", watchdog %v", *watchdog)
+	}
+	fmt.Printf("\n")
+	if names := srv.CheckpointedSessions(); len(names) > 0 {
+		fmt.Printf("recovery:  %d checkpointed session(s) resumable from %s\n", len(names), *recoverDir)
+	}
+	fmt.Printf("\n")
 
 	if *nStreams == 0 {
 		holdOpen(*hold)

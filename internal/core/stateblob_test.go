@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgetta/internal/tensor"
+)
+
+// adaptedState runs a few batches through a stateful adapter and captures
+// the resulting (non-trivial) state.
+func adaptedState(t *testing.T, algo Algorithm) AdapterState {
+	t.Helper()
+	m := tinyModel(7)
+	a, err := New(algo, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, ok := a.(Stateful)
+	if !ok {
+		t.Fatalf("%v is not stateful", algo)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3; i++ {
+		x := tensor.New(4, 3, 32, 32)
+		x.Randn(rng, 1)
+		a.Process(x)
+	}
+	return sa.CaptureState()
+}
+
+func stateEqual(a, b AdapterState) bool {
+	ka, ta, err := FlattenState(a)
+	if err != nil {
+		return false
+	}
+	kb, tb, err := FlattenState(b)
+	if err != nil || ka != kb || len(ta) != len(tb) {
+		return false
+	}
+	for i := range ta {
+		if ta[i].Name != tb[i].Name || len(ta[i].Data) != len(tb[i].Data) {
+			return false
+		}
+		for j := range ta[i].Data {
+			if math.Float32bits(ta[i].Data[j]) != math.Float32bits(tb[i].Data[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		algo Algorithm
+		kind string
+	}{{BNNorm, StateKindBN}, {BNOpt, StateKindBNOpt}} {
+		s := adaptedState(t, tc.algo)
+		kind, tensors, err := FlattenState(s)
+		if err != nil {
+			t.Fatalf("%v: FlattenState: %v", tc.algo, err)
+		}
+		if kind != tc.kind {
+			t.Fatalf("%v: kind %q, want %q", tc.algo, kind, tc.kind)
+		}
+		back, err := UnflattenState(kind, tensors)
+		if err != nil {
+			t.Fatalf("%v: UnflattenState: %v", tc.algo, err)
+		}
+		if !stateEqual(s, back) {
+			t.Fatalf("%v: round trip is not byte-identical", tc.algo)
+		}
+	}
+}
+
+// The round-tripped state must also restore onto an adapter and drive
+// Process byte-identically to the original state — the flattened form is
+// the recovery path, and recovery promises bitwise replay parity.
+func TestUnflattenedStateRestores(t *testing.T) {
+	m := tinyModel(8)
+	a, err := New(BNOpt, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := a.(Stateful)
+	rng := rand.New(rand.NewSource(21))
+	x := tensor.New(4, 3, 32, 32)
+	x.Randn(rng, 1)
+	a.Process(x)
+	s := sa.CaptureState()
+
+	probe := tensor.New(4, 3, 32, 32)
+	probe.Randn(rng, 1)
+	sa.RestoreState(s)
+	ref := append([]float32(nil), a.Process(probe).Data...)
+
+	kind, tensors, err := FlattenState(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnflattenState(kind, tensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.RestoreState(back)
+	got := a.Process(probe)
+	for i := range ref {
+		if math.Float32bits(ref[i]) != math.Float32bits(got.Data[i]) {
+			t.Fatalf("restored state diverges at %d: %v vs %v", i, ref[i], got.Data[i])
+		}
+	}
+}
+
+// Adam's step count must survive exactly even where float32(t) would round.
+func TestAdamStepCountExact(t *testing.T) {
+	s := adaptedState(t, BNOpt).(*bnOptState)
+	s.adam.T = (1 << 24) + 1 // not representable as float32 by value
+	kind, tensors, err := FlattenState(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnflattenState(kind, tensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.(*bnOptState).adam.T; got != (1<<24)+1 {
+		t.Fatalf("Adam step count %d, want %d", got, (1<<24)+1)
+	}
+}
+
+func TestUnflattenRejectsMalformed(t *testing.T) {
+	s := adaptedState(t, BNNorm)
+	kind, tensors, err := FlattenState(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnflattenState("nope", tensors); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	if _, err := UnflattenState(kind, tensors[:len(tensors)-1]); err == nil {
+		t.Fatal("truncated tensor list must fail")
+	}
+	extra := append(append([]StateTensor(nil), tensors...), StateTensor{Name: "junk"})
+	if _, err := UnflattenState(kind, extra); err == nil {
+		t.Fatal("trailing tensors must fail")
+	}
+	re := append([]StateTensor(nil), tensors...)
+	re[0], re[1] = re[1], re[0]
+	if _, err := UnflattenState(kind, re); err == nil {
+		t.Fatal("reordered tensors must fail")
+	}
+}
+
+func TestStateFinite(t *testing.T) {
+	for _, algo := range []Algorithm{BNNorm, BNOpt} {
+		s := adaptedState(t, algo)
+		if !StateFinite(s) {
+			t.Fatalf("%v: healthy state reported non-finite", algo)
+		}
+	}
+	s := adaptedState(t, BNNorm).(*bnState)
+	s.snap.rvar[1][0] = float32(math.NaN())
+	if StateFinite(s) {
+		t.Fatal("NaN in running variance not detected")
+	}
+	o := adaptedState(t, BNOpt).(*bnOptState)
+	o.adam.V[0][0] = float32(math.Inf(1))
+	if StateFinite(o) {
+		t.Fatal("Inf in Adam moment not detected")
+	}
+}

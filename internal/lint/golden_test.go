@@ -109,6 +109,12 @@ func TestNestedParGolden(t *testing.T) {
 	runGolden(t, "nestedpar", "./testdata/src/nestedpar")
 }
 
+// TestPanicSafeGolden covers the scoped package and, via the ... pattern,
+// an out-of-scope package whose bare goroutine must draw no finding.
+func TestPanicSafeGolden(t *testing.T) {
+	runGolden(t, "panicsafe", "./testdata/src/panicsafe/...")
+}
+
 // TestRepoTreeClean is the driver's exit-0 guarantee as a test: the full
 // analyzer suite over the real module must produce zero findings — which,
 // since unjustified and stale suppressions are findings too, also means

@@ -1,6 +1,6 @@
 // Package lint is the repository's static-analysis framework: a small,
 // dependency-free analyzer harness (go/parser + go/types; package
-// discovery via `go list -json`) plus the five repo-specific analyzers
+// discovery via `go list -json`) plus the six repo-specific analyzers
 // that mechanically enforce the correctness contracts the test suites
 // can only spot-check:
 //
@@ -18,6 +18,9 @@
 //     receiver's slice or map fields.
 //   - nestedpar: parallel.For/ForChunked/ForGrain must not be called
 //     syntactically inside another parallel loop body literal.
+//   - panicsafe: every goroutine started in internal/serve must defer a
+//     recover barrier, so a replica panic is quarantined instead of
+//     killing the serving process.
 //
 // The analyzers are syntactic-plus-types: they prove the idioms the
 // repository standardizes on, not arbitrary dataflow. Mutations routed
@@ -77,7 +80,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All lists every analyzer in the suite, in report order.
 func All() []*Analyzer {
-	return []*Analyzer{markUpdated, scratchPair, determinism, cloneSafe, nestedPar}
+	return []*Analyzer{markUpdated, scratchPair, determinism, cloneSafe, nestedPar, panicSafe}
 }
 
 // ByName resolves a comma-separated analyzer selection against All.

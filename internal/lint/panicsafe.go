@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// panicsafe guards the serving tier's fault-isolation contract: a panic in
+// any goroutine the serve packages start must be caught by a recover
+// barrier in that goroutine, or it kills the whole process — the exact
+// failure mode the replica-supervision layer exists to contain. In
+// packages under internal/serve it requires every `go` statement to spawn
+// a function with a provable recover path:
+//
+//   - a function literal whose body defers a recover barrier — a deferred
+//     literal calling recover(), or a deferred call to an in-package
+//     function whose body recovers (g.recoverWorker, g.recoverBarrier);
+//   - a named in-package function whose declaration defers such a barrier
+//     or opens with one.
+//
+// Spawning anything the analyzer cannot prove recovers (an out-of-package
+// function, a function-typed variable) is a finding: route it through a
+// literal with a deferred barrier. The proof is syntactic-plus-types like
+// the rest of the suite — a barrier hidden behind dataflow needs a
+// //ttalint:ok suppression with its justification.
+var panicSafe = &Analyzer{
+	Name: "panicsafe",
+	Doc:  "goroutines in internal/serve must defer a recover barrier",
+	Run:  runPanicSafe,
+}
+
+// panicSafeScope is the import-path fragment the analyzer binds to.
+const panicSafeScope = "internal/serve"
+
+func runPanicSafe(p *Pass) {
+	if !strings.Contains(p.Pkg.ImportPath, panicSafeScope) {
+		return
+	}
+	info := p.Pkg.Info
+
+	// Pass 1: the in-package functions whose bodies call recover()
+	// directly, and the declaration bodies for name resolution.
+	recovers := map[*types.Func]bool{}
+	decls := map[*types.Func]*ast.FuncDecl{}
+	forEachFuncDecl(p.Pkg, func(fd *ast.FuncDecl) {
+		fn, _ := info.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			return
+		}
+		decls[fn] = fd
+		if callsRecover(info, fd.Body) {
+			recovers[fn] = true
+		}
+	})
+
+	// deferredBarrier reports whether body (one function's own scope)
+	// defers a recover path.
+	deferredBarrier := func(body *ast.BlockStmt) bool {
+		found := false
+		inspectScope(body, func(n ast.Node) bool {
+			d, ok := n.(*ast.DeferStmt)
+			if !ok || found {
+				return !found
+			}
+			if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+				if callsRecover(info, lit.Body) || callsAnyOf(info, lit.Body, recovers) {
+					found = true
+				}
+				return true
+			}
+			if fn := calleeFunc(info, d.Call); fn != nil && recovers[fn] {
+				found = true
+			}
+			return true
+		})
+		return found
+	}
+
+	// Pass 2: every `go` statement must spawn a provable recover path.
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				if !deferredBarrier(lit.Body) && !callsRecover(info, lit.Body) {
+					p.Reportf(g.Pos(),
+						"goroutine has no recover barrier: defer a recover path (e.g. a deferred literal calling recover) so a panic cannot kill the process")
+				}
+				return true
+			}
+			fn := calleeFunc(info, g.Call)
+			if fn == nil {
+				p.Reportf(g.Pos(),
+					"goroutine spawns an unresolvable function: wrap it in a literal with a deferred recover barrier")
+				return true
+			}
+			fd := decls[fn]
+			if fd == nil {
+				p.Reportf(g.Pos(),
+					"goroutine spawns %s, declared outside the package: wrap it in a literal with a deferred recover barrier", fn.Name())
+				return true
+			}
+			if !deferredBarrier(fd.Body) {
+				p.Reportf(g.Pos(),
+					"goroutine spawns %s, which defers no recover barrier", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// callsRecover reports whether body contains a call to the predeclared
+// recover, at any depth (a recover inside a deferred literal inside body
+// counts — that is precisely the barrier idiom).
+func callsRecover(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltin(info, call, "recover") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callsAnyOf reports whether body calls any function in the set.
+func callsAnyOf(info *types.Info, body *ast.BlockStmt, set map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(info, call); fn != nil && set[fn] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

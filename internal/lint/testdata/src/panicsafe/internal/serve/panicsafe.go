@@ -1,0 +1,86 @@
+// Package serve is a golden stand-in whose import path places it inside
+// the panicsafe analyzer's scope (internal/serve): every goroutine the
+// serving tier starts must defer a recover barrier.
+package serve
+
+import "fmt"
+
+// recoverBarrier is the sanctioned barrier: a function whose body calls
+// recover directly. Deferring it from a goroutine is a recover path.
+func recoverBarrier(op string) {
+	if p := recover(); p != nil {
+		fmt.Println("recovered in", op, p)
+	}
+}
+
+// noBarrier does real work but never recovers.
+func noBarrier() { fmt.Println("working") }
+
+// barrieredWorker defers the in-package barrier, so spawning it by name
+// is safe.
+func barrieredWorker() {
+	defer recoverBarrier("worker")
+	fmt.Println("working")
+}
+
+// inlineBarrieredWorker defers a literal that recovers itself.
+func inlineBarrieredWorker() {
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Println("recovered", p)
+		}
+	}()
+	fmt.Println("working")
+}
+
+func spawns() {
+	// Literal with a deferred recovering literal: fine.
+	go func() {
+		defer func() { _ = recover() }()
+		noBarrier()
+	}()
+
+	// Literal deferring the in-package barrier function: fine.
+	go func() {
+		defer recoverBarrier("spawn")
+		noBarrier()
+	}()
+
+	// Named in-package functions with barriers: fine.
+	go barrieredWorker()
+	go inlineBarrieredWorker()
+
+	// Literal with no recover path at all.
+	go func() { // want "goroutine has no recover barrier"
+		noBarrier()
+	}()
+
+	// A defer that does not recover is not a barrier.
+	go func() { // want "goroutine has no recover barrier"
+		defer fmt.Println("done")
+		noBarrier()
+	}()
+
+	// Named in-package function without a barrier.
+	go noBarrier() // want "defers no recover barrier"
+
+	// Out-of-package callee: unprovable, must be wrapped.
+	go fmt.Println("hi") // want "declared outside the package"
+
+	// Function-typed variable: unresolvable, must be wrapped.
+	f := noBarrier
+	go f() // want "unresolvable function"
+
+	// Suppression with justification is honored.
+	go noBarrier() //ttalint:ok panicsafe cannot panic: prints a constant
+}
+
+// recoverInsideNestedLiteralOnly looks recover-adjacent but is not a
+// barrier: the recover sits in a literal that is merely assigned, never
+// deferred, so a panic still escapes. The analyzer's recover-containment
+// check is deliberately syntactic, so this currently passes as a named
+// spawn target would — pin the sharper behavior here if it ever tightens.
+func handlers() {
+	h := func() { _ = recover() }
+	_ = h
+}

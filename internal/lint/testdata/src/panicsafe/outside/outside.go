@@ -1,0 +1,10 @@
+// Package outside sits outside the panicsafe scope (its import path has
+// no internal/serve fragment), so bare goroutines draw no findings here —
+// the contract binds the serving tier, not the whole tree.
+package outside
+
+import "fmt"
+
+func Spawn() {
+	go fmt.Println("unsupervised, and fine out here")
+}

@@ -1,0 +1,133 @@
+package serialize
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Adapter-state container: the on-disk shape of one stream's adaptation
+// checkpoint (internal/serve's fault-recovery path). Unlike the model
+// checkpoint above, which loads into an already-constructed model, a state
+// container must be self-describing — on server restart the recovery scan
+// reads headers before any group or model exists — so it carries the group
+// routing (model tag + algorithm spelling), the state kind, and the
+// sequence number of the last batch the state reflects.
+//
+// Format (little-endian):
+//
+//	magic "EDGETTAS" | model string | algo string | kind string |
+//	uint64 seq | uint32 tensor count |
+//	repeated: name string | uint32 length | float32 data...
+//
+// Float32 payloads are written bit-for-bit, so a loaded state replays to
+// bitwise parity with the run that saved it.
+
+var stateMagic = [8]byte{'E', 'D', 'G', 'E', 'T', 'T', 'A', 'S'}
+
+// StateHeader routes a checkpoint back to its serving group and position
+// in the stream: Seq is the sequence number of the last batch applied to
+// the state (0 for an unsequenced stream).
+type StateHeader struct {
+	Model string
+	Algo  string
+	Kind  string
+	Seq   uint64
+}
+
+// Tensor is one named float32 payload of a state container.
+type Tensor struct {
+	Name string
+	Data []float32
+}
+
+// SaveState writes one adaptation-state checkpoint to w.
+func SaveState(w io.Writer, h StateHeader, tensors []Tensor) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(stateMagic[:]); err != nil {
+		return err
+	}
+	for _, s := range []string{h.Model, h.Algo, h.Kind} {
+		if err := writeString(bw, s); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, h.Seq); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(tensors))); err != nil {
+		return err
+	}
+	for _, t := range tensors {
+		if err := writeString(bw, t.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.Data))); err != nil {
+			return err
+		}
+		buf := make([]byte, 4*len(t.Data))
+		for i, v := range t.Data {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadState reads one adaptation-state checkpoint from r.
+func LoadState(r io.Reader) (StateHeader, []Tensor, error) {
+	br := bufio.NewReader(r)
+	var h StateHeader
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return h, nil, fmt.Errorf("serialize: reading state magic: %w", err)
+	}
+	if got != stateMagic {
+		return h, nil, fmt.Errorf("serialize: bad state magic %q", got)
+	}
+	for _, dst := range []*string{&h.Model, &h.Algo, &h.Kind} {
+		s, err := readString(br)
+		if err != nil {
+			return h, nil, err
+		}
+		*dst = s
+	}
+	if err := binary.Read(br, binary.LittleEndian, &h.Seq); err != nil {
+		return h, nil, err
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return h, nil, err
+	}
+	if count > 1<<16 {
+		return h, nil, fmt.Errorf("serialize: unreasonable state tensor count %d", count)
+	}
+	tensors := make([]Tensor, 0, count)
+	for i := uint32(0); i < count; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return h, nil, err
+		}
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return h, nil, err
+		}
+		if n > 1<<24 {
+			return h, nil, fmt.Errorf("serialize: unreasonable tensor length %d for %q", n, name)
+		}
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return h, nil, fmt.Errorf("serialize: reading state tensor %q: %w", name, err)
+		}
+		data := make([]float32, n)
+		for j := range data {
+			data[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		tensors = append(tensors, Tensor{Name: name, Data: data})
+	}
+	return h, tensors, nil
+}

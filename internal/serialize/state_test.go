@@ -1,0 +1,63 @@
+package serialize
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestStateRoundTrip(t *testing.T) {
+	h := StateHeader{Model: "WRN-40-2", Algo: "BN-Opt", Kind: "bnopt", Seq: 1<<40 + 7}
+	tensors := []Tensor{
+		{Name: "bn.0.gamma", Data: []float32{1, -0.5, float32(math.Pi)}},
+		{Name: "bn.usebatch", Data: []float32{1, 0}},
+		{Name: "adam.t", Data: []float32{math.Float32frombits(123456789)}},
+		{Name: "empty", Data: nil},
+	}
+	var buf bytes.Buffer
+	if err := SaveState(&buf, h, tensors); err != nil {
+		t.Fatal(err)
+	}
+	gh, got, err := LoadState(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh != h {
+		t.Fatalf("header %+v, want %+v", gh, h)
+	}
+	if len(got) != len(tensors) {
+		t.Fatalf("%d tensors, want %d", len(got), len(tensors))
+	}
+	for i := range tensors {
+		if got[i].Name != tensors[i].Name || len(got[i].Data) != len(tensors[i].Data) {
+			t.Fatalf("tensor %d: %q/%d, want %q/%d", i,
+				got[i].Name, len(got[i].Data), tensors[i].Name, len(tensors[i].Data))
+		}
+		for j := range tensors[i].Data {
+			if math.Float32bits(got[i].Data[j]) != math.Float32bits(tensors[i].Data[j]) {
+				t.Fatalf("tensor %d value %d not bit-identical", i, j)
+			}
+		}
+	}
+}
+
+func TestStateRejectsGarbage(t *testing.T) {
+	if _, _, err := LoadState(bytes.NewReader([]byte("not a checkpoint at all"))); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	// A model checkpoint is not a state container.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteString("padding so the read gets past the magic...")
+	if _, _, err := LoadState(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("model-checkpoint magic must fail")
+	}
+	// Truncation mid-tensor fails instead of returning a short state.
+	var ok bytes.Buffer
+	if err := SaveState(&ok, StateHeader{Model: "m", Algo: "a", Kind: "k"}, []Tensor{{Name: "x", Data: make([]float32, 64)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadState(bytes.NewReader(ok.Bytes()[:ok.Len()-10])); err == nil {
+		t.Fatal("truncated container must fail")
+	}
+}

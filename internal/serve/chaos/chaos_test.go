@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"edgetta/internal/serve"
+)
+
+// TestSeededDeterministic pins the harness's core promise: the same seed
+// always yields the same fault schedule, and the schedule is well-formed —
+// distinct indices inside the horizon, panics in ascending order.
+func TestSeededDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 12345} {
+		a, b := Seeded(seed, 3, 20), Seeded(seed, 3, 20)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two Seeded calls differ: %+v vs %+v", seed, a, b)
+		}
+		if len(a.PanicAt) != 3 {
+			t.Fatalf("seed %d: %d panics, want 3", seed, len(a.PanicAt))
+		}
+		seen := map[uint64]bool{}
+		var prev uint64
+		for _, n := range a.PanicAt {
+			if n < 1 || seen[n] {
+				t.Errorf("seed %d: panic index %d out of range or duplicated in %v", seed, n, a.PanicAt)
+			}
+			if n < prev {
+				t.Errorf("seed %d: panic indices not ascending: %v", seed, a.PanicAt)
+			}
+			seen[n] = true
+			prev = n
+		}
+		if a.Delay <= 0 {
+			t.Errorf("seed %d: non-positive delay %v", seed, a.Delay)
+		}
+	}
+	if reflect.DeepEqual(Seeded(1, 3, 20), Seeded(2, 3, 20)) {
+		t.Errorf("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+// TestInjectorSchedule drives the injector through a scripted plan and
+// checks it fires exactly the scheduled faults, in order, with an audit
+// trail.
+func TestInjectorSchedule(t *testing.T) {
+	in := NewInjector(Plan{
+		PanicAt:          []uint64{2},
+		DelayAt:          []uint64{4},
+		PoisonAt:         []uint64{5},
+		CheckpointFailAt: []uint64{1},
+	})
+	wantKinds := []serve.FaultKind{
+		serve.FaultNone, serve.FaultPanic, serve.FaultNone, serve.FaultDelay, serve.FaultPoison, serve.FaultNone,
+	}
+	for i, want := range wantKinds {
+		if f := in.ProcessFault("g", 0); f.Kind != want {
+			t.Errorf("dispatch %d: kind %v, want %v", i+1, f.Kind, want)
+		}
+	}
+	if err := in.CheckpointFault("s", 2); err == nil {
+		t.Errorf("checkpoint write 1 should fail")
+	}
+	if err := in.CheckpointFault("s", 4); err != nil {
+		t.Errorf("checkpoint write 2 failed: %v", err)
+	}
+	if got := in.Dispatches(); got != uint64(len(wantKinds)) {
+		t.Errorf("Dispatches = %d, want %d", got, len(wantKinds))
+	}
+	if log := in.Injected(); len(log) != 4 {
+		t.Errorf("audit log %v, want 4 entries (panic, delay, poison, ckptfail)", log)
+	}
+}

@@ -37,6 +37,16 @@ const (
 	// CodeCanceled: the request's context was canceled while the request
 	// was queued (or while blocked on admission).
 	CodeCanceled
+	// CodeReplicaFault: the replica processing the request panicked or
+	// exceeded the watchdog deadline and was quarantined. The request did
+	// NOT advance the stream's adaptation state, so a retry with the same
+	// sequence number is safe — the error is retryable by contract and
+	// carries a suggested retry-after (a fresh replica is respawning).
+	CodeReplicaFault
+	// CodeSequence: a sequenced submit does not follow the stream's
+	// protocol order. The error carries ExpectSeq, the sequence number the
+	// stream will accept next, so a client can rewind after a recovery.
+	CodeSequence
 )
 
 // String names the code the way logs and the wire protocol spell it.
@@ -56,6 +66,10 @@ func (c Code) String() string {
 		return "deadline"
 	case CodeCanceled:
 		return "canceled"
+	case CodeReplicaFault:
+		return "replica_fault"
+	case CodeSequence:
+		return "sequence"
 	}
 	return "unknown"
 }
@@ -65,7 +79,7 @@ func (c Code) String() string {
 // the sentinels under errors.Is. Unrecognized names parse as CodeUnknown
 // (the wire may be newer than the client).
 func ParseCode(s string) Code {
-	for c := CodeClosed; c <= CodeCanceled; c++ {
+	for c := CodeClosed; c <= CodeSequence; c++ {
 		if c.String() == s {
 			return c
 		}
@@ -88,6 +102,9 @@ type Error struct {
 	// QueueDepth, for CodeOverloaded, is the pending-queue depth observed
 	// at rejection time.
 	QueueDepth int
+	// ExpectSeq, for CodeSequence, is the sequence number the stream will
+	// accept next (last applied + 1); a recovering client rewinds to it.
+	ExpectSeq uint64
 	// Cause, when non-nil, is the underlying error (the context error for
 	// CodeDeadline/CodeCanceled); Unwrap exposes it to errors.Is.
 	Cause error
@@ -119,6 +136,11 @@ var (
 	ErrClosed       = &Error{Code: CodeClosed, Msg: "server closed"}
 	ErrStreamClosed = &Error{Code: CodeStreamClosed, Msg: "stream closed"}
 	ErrOverloaded   = &Error{Code: CodeOverloaded, Msg: "queue full"}
+	// ErrReplicaFault matches any failure caused by a quarantined replica.
+	// Retryable: the faulted dispatch never advanced adaptation state.
+	ErrReplicaFault = &Error{Code: CodeReplicaFault, Msg: "replica fault"}
+	// ErrSequence matches any sequenced-submit protocol violation.
+	ErrSequence = &Error{Code: CodeSequence, Msg: "sequence mismatch"}
 )
 
 // errBadRequest builds a CodeBadRequest instance.
@@ -139,6 +161,27 @@ func errOverloaded(key GroupKey, depth int, retryAfter time.Duration) *Error {
 		Msg:        fmt.Sprintf("%s: queue full (%d pending), retry after %v", key, depth, retryAfter),
 		RetryAfter: retryAfter,
 		QueueDepth: depth,
+	}
+}
+
+// errReplicaFault builds a CodeReplicaFault instance. reason is what took
+// the replica down ("panic: ...", "watchdog: ..."); retryAfter estimates
+// when a respawned replica will be taking work again.
+func errReplicaFault(key GroupKey, replicaID int, reason string, retryAfter time.Duration) *Error {
+	return &Error{
+		Code:       CodeReplicaFault,
+		Msg:        fmt.Sprintf("%s: replica %d quarantined (%s), retry after %v", key, replicaID, reason, retryAfter),
+		RetryAfter: retryAfter,
+	}
+}
+
+// errSequence builds a CodeSequence instance telling the client which
+// sequence number the stream will accept next.
+func errSequence(key GroupKey, got, expect uint64) *Error {
+	return &Error{
+		Code:      CodeSequence,
+		Msg:       fmt.Sprintf("%s: submit seq %d out of order, expect %d", key, got, expect),
+		ExpectSeq: expect,
 	}
 }
 

@@ -25,6 +25,11 @@ type groupMetrics struct {
 	coalesced     *telemetry.Counter // lifetime requests served in shared Process calls
 	shed          *telemetry.Counter // lifetime requests rejected at admission (AdmitShed)
 	canceled      *telemetry.Counter // lifetime requests canceled while queued
+	respawning    *telemetry.Gauge   // replicas currently being respawned
+	faults        *telemetry.Counter // lifetime replica quarantines (panic/watchdog)
+	respawns      *telemetry.Counter // lifetime completed replica respawns
+	numericResets *telemetry.Counter // lifetime numeric-guard source resets
+	ckptFailures  *telemetry.Counter // lifetime failed checkpoint writes
 }
 
 // newGroupMetrics registers the group's metrics under its key label.
@@ -41,6 +46,11 @@ func newGroupMetrics(reg *telemetry.Registry, key GroupKey) *groupMetrics {
 		coalesced:     reg.Counter("edgetta_serve_coalesced_requests_total", l...),
 		shed:          reg.Counter("edgetta_serve_shed_total", l...),
 		canceled:      reg.Counter("edgetta_serve_canceled_total", l...),
+		respawning:    reg.Gauge("edgetta_serve_respawning", l...),
+		faults:        reg.Counter("edgetta_serve_replica_faults_total", l...),
+		respawns:      reg.Counter("edgetta_serve_respawns_total", l...),
+		numericResets: reg.Counter("edgetta_serve_numeric_resets_total", l...),
+		ckptFailures:  reg.Counter("edgetta_serve_checkpoint_failures_total", l...),
 	}
 }
 
@@ -76,6 +86,24 @@ type streamState struct {
 	pending int
 	closed  bool
 
+	// name is the session name for named (recoverable) streams, "" for
+	// anonymous ones. Named stateful streams are checkpointed every
+	// Checkpoint.Every applied batches.
+	name string
+
+	// Sequenced-submit accounting (guarded by the group mutex).
+	// appliedSeq is the highest sequence number whose batch has been
+	// applied to the stream's state; enqSeq the highest admitted one
+	// (reserved positions, rolled back on fault/cancel). cachedSeq/cached
+	// hold the last applied sequenced response for idempotent replay.
+	appliedSeq uint64
+	enqSeq     uint64
+	cachedSeq  uint64
+	cached     Response
+	// applied counts batches applied since the stream opened (or resumed),
+	// driving the checkpoint cadence.
+	applied int
+
 	// per-stream metrics, guarded by the group mutex.
 	requests int
 	images   int
@@ -88,6 +116,10 @@ type request struct {
 	ctx context.Context
 	x   *tensor.Tensor
 	n   int // images
+	// seq is the request's sequence number (0 = unsequenced). A sequenced
+	// stateful request dispatches only at its protocol position
+	// (st.appliedSeq + 1), no matter where it sits in the queue.
+	seq uint64
 	enq time.Time
 	// queued is true while the request sits in g.pending (guarded by
 	// g.mu). Exactly one of the dispatcher and the cancellation watcher
@@ -146,6 +178,13 @@ type group struct {
 	closed        bool
 	nextStreamID  int
 	streams       map[int]*streamState
+	// names indexes the open named sessions; store is the server-wide
+	// checkpoint store (nil when checkpointing is disabled) and
+	// initialShape the flattened shape of the episode-start state, used to
+	// validate checkpoints before restoring them.
+	names        map[string]*streamState
+	store        *ckptStore
+	initialShape map[string]int
 
 	// aggregate metrics.
 	batches      int // Process calls
@@ -157,6 +196,22 @@ type group struct {
 	canceled     int // canceled while queued
 	scaleUps     int
 	scaleDowns   int
+	// fault-domain accounting: faults counts replica quarantines,
+	// respawning the replacements still being cloned, respawns the
+	// completed ones; quarantinedIDs keeps the recent quarantined replica
+	// IDs for the health snapshot. numericResets counts numeric-guard
+	// source resets; ckptWrites/ckptFailures the checkpoint outcomes.
+	faults         int
+	respawning     int
+	respawns       int
+	quarantinedIDs []int
+	numericResets  int
+	ckptWrites     int
+	ckptFailures   int
+	// lastFaultAt, when set, starts the fault→first-served recovery clock;
+	// the next successful commit observes it into recoveryHist.
+	lastFaultAt  time.Time
+	recoveryHist *core.LatencyHist
 	// serviceEMA is a cheap running estimate of per-Process wall time,
 	// feeding the retry-after suggestion on shed (reading the histogram's
 	// Summary would sort the window under pressure).
@@ -218,12 +273,20 @@ func (g *group) closeStream(st *streamState) {
 		g.cond.Wait()
 	}
 	delete(g.streams, st.id)
+	if st.name != "" {
+		delete(g.names, st.name)
+	}
 	st.state = nil
 	if g.met != nil {
 		g.met.openStreams.Set(int64(len(g.streams)))
 	}
 	g.cond.Broadcast()
 	g.mu.Unlock()
+	// An explicitly closed session ended its episode; its checkpoint is no
+	// longer a recovery target (disk I/O happens off the group lock).
+	if st.name != "" && g.store != nil {
+		g.store.remove(st.name)
+	}
 }
 
 // startReplica adds r to the pool and spawns its worker.
@@ -237,6 +300,7 @@ func (g *group) startReplica(r *replica) {
 	g.wg.Add(1)
 	go func() {
 		defer g.wg.Done()
+		defer g.recoverWorker(r)
 		g.serveLoop(r)
 	}()
 }
@@ -281,7 +345,14 @@ func (g *group) retryAfterLocked(depth int) time.Duration {
 // watcher ever block delivering. The request context is honored while the
 // request is blocked on admission and while it waits in the queue; once a
 // replica dispatches it, it runs to completion.
-func (g *group) submit(ctx context.Context, st *streamState, x *tensor.Tensor) <-chan Response {
+//
+// seq, when nonzero on a stateful group, is the stream's monotonic submit
+// sequence number, making retries idempotent: a duplicate of the last
+// applied batch replays the cached response without re-adapting, a
+// duplicate of an admitted-but-unsettled batch waits for the original (and
+// takes over as the retry if the original faults), and anything else out
+// of order fails with CodeSequence carrying the expected number.
+func (g *group) submit(ctx context.Context, st *streamState, x *tensor.Tensor, seq uint64) <-chan Response {
 	resp := make(chan Response, 1)
 	fail := func(err error) <-chan Response {
 		resp <- Response{Err: err}
@@ -297,9 +368,26 @@ func (g *group) submit(ctx context.Context, st *streamState, x *tensor.Tensor) <
 	if ctx.Err() != nil {
 		return fail(ctxErr(ctx))
 	}
-	req := &request{st: st, ctx: ctx, x: x, n: x.Dim(0), enq: time.Now(), resp: resp}
+	if !g.stateful {
+		// Stateless groups have no adaptation state to double-apply, so
+		// sequence numbers carry no obligation; re-processing a retried
+		// batch is byte-identical and side-effect free.
+		seq = 0
+	}
+	req := &request{st: st, ctx: ctx, x: x, n: x.Dim(0), seq: seq, enq: time.Now(), resp: resp}
 
 	g.mu.Lock()
+	if seq > 0 {
+		done, err := g.sequenceGateLocked(ctx, st, seq, resp)
+		if err != nil {
+			g.mu.Unlock()
+			return fail(err)
+		}
+		if done {
+			g.mu.Unlock()
+			return resp
+		}
+	}
 	if len(g.pending) >= g.cfg.QueueCap && !g.closed && !st.closed {
 		if g.cfg.Admission == AdmitShed {
 			depth := len(g.pending)
@@ -308,7 +396,9 @@ func (g *group) submit(ctx context.Context, st *streamState, x *tensor.Tensor) <
 			if g.met != nil {
 				g.met.shed.Inc()
 			}
+			victims := g.releaseSeqLocked(st, seq)
 			g.mu.Unlock()
+			g.failSequenceVictims(victims, seq)
 			return fail(errOverloaded(g.key, depth, ra))
 		}
 		// AdmitBlock: wait for space, waking on context expiry too. The
@@ -324,12 +414,16 @@ func (g *group) submit(ctx context.Context, st *streamState, x *tensor.Tensor) <
 		stop()
 		if len(g.pending) >= g.cfg.QueueCap && !g.closed && !st.closed {
 			// Only the context expired.
+			victims := g.releaseSeqLocked(st, seq)
 			g.mu.Unlock()
+			g.failSequenceVictims(victims, seq)
 			return fail(ctxErr(ctx))
 		}
 	}
 	if g.closed || st.closed {
+		victims := g.releaseSeqLocked(st, seq)
 		g.mu.Unlock()
+		g.failSequenceVictims(victims, seq)
 		if st.closed {
 			return fail(ErrStreamClosed)
 		}
@@ -351,6 +445,91 @@ func (g *group) submit(ctx context.Context, st *streamState, x *tensor.Tensor) <
 	g.cond.Broadcast()
 	g.mu.Unlock()
 	return resp
+}
+
+// sequenceGateLocked enforces the stream's submit protocol for a sequenced
+// request. It returns done=true when the response was already delivered
+// (idempotent replay of the last applied batch), a non-nil error for a
+// protocol violation, or (false, nil) after reserving the stream's next
+// protocol position — the caller proceeds to admission. The caller holds
+// g.mu throughout (the wait for an in-flight duplicate releases it inside
+// cond.Wait).
+func (g *group) sequenceGateLocked(ctx context.Context, st *streamState, seq uint64, resp chan Response) (done bool, err error) {
+	for {
+		if g.closed || st.closed {
+			// Fall through to the standard closed handling in submit.
+			return false, nil
+		}
+		if seq <= st.appliedSeq {
+			if seq == st.cachedSeq {
+				// Idempotent replay: the batch was applied but the response
+				// was lost (replica fault after apply never happens, but a
+				// connection can drop between apply and read). Serve the
+				// cached response without re-adapting.
+				resp <- st.cached
+				return true, nil
+			}
+			return false, errSequence(g.key, seq, st.enqSeq+1)
+		}
+		if seq <= st.enqSeq {
+			// The same position is already admitted: an earlier identical
+			// submit is queued or in flight. Wait for it to settle — if it
+			// completes we replay its cached response; if its replica
+			// faults the reservation rolls back and this submit takes over
+			// as the retry.
+			stop := context.AfterFunc(ctx, func() {
+				g.mu.Lock()
+				g.cond.Broadcast()
+				g.mu.Unlock()
+			})
+			for seq > st.appliedSeq && seq <= st.enqSeq && !g.closed && !st.closed && ctx.Err() == nil {
+				g.cond.Wait()
+			}
+			stop()
+			if ctx.Err() != nil && seq > st.appliedSeq && seq <= st.enqSeq {
+				return false, ctxErr(ctx)
+			}
+			continue
+		}
+		if seq != st.enqSeq+1 {
+			return false, errSequence(g.key, seq, st.enqSeq+1)
+		}
+		// Reserve the position before any admission wait, so a concurrent
+		// duplicate of the same seq lands in the wait branch above instead
+		// of being admitted twice.
+		st.enqSeq = seq
+		return false, nil
+	}
+}
+
+// releaseSeqLocked rolls back a sequence reservation whose request never
+// made it into the queue (admission failed): later queued requests of the
+// stream can no longer reach their protocol position, so they are removed
+// for the caller to fail, and the reservation high-water mark returns to
+// just below the failed position — the stream accepts a retry of seq next.
+// No-op for unsequenced requests.
+func (g *group) releaseSeqLocked(st *streamState, seq uint64) []*request {
+	if seq == 0 {
+		return nil
+	}
+	victims := g.cascadeLocked(st, seq, false)
+	for _, q := range victims {
+		q.st.pending--
+	}
+	if st.enqSeq >= seq {
+		st.enqSeq = seq - 1
+	}
+	g.updateQueueGauges()
+	g.cond.Broadcast()
+	return victims
+}
+
+// failSequenceVictims delivers the cascade error to requests stranded by a
+// rolled-back reservation: the stream accepts expect next.
+func (g *group) failSequenceVictims(victims []*request, expect uint64) {
+	for _, q := range victims {
+		q.resp <- Response{Err: errSequence(g.key, q.seq, expect)}
+	}
 }
 
 // cancelQueued removes a still-queued request whose context expired and
@@ -375,9 +554,14 @@ func (g *group) cancelQueued(req *request) {
 	if g.met != nil {
 		g.met.canceled.Inc()
 	}
+	// A canceled sequenced request leaves a hole in the protocol order;
+	// later queued positions of the stream can never dispatch, so they are
+	// failed too and the reservation rolls back to accept a resubmit.
+	victims := g.releaseSeqLocked(req.st, req.seq)
 	g.updateQueueGauges()
 	g.cond.Broadcast() // queue space freed; Close may be waiting on st.pending
 	g.mu.Unlock()
+	g.failSequenceVictims(victims, req.seq)
 	req.resp <- Response{Err: ctxErr(req.ctx)}
 }
 
@@ -398,16 +582,18 @@ func shapeOf(x *tensor.Tensor) []int {
 	return x.Shape()
 }
 
-// serveLoop is one replica worker: take a dispatchable batch, run it,
-// repeat until the group is closed and drained (or the worker is retired
-// by the autoscaler).
+// serveLoop is one replica worker: take a dispatchable batch, run it under
+// supervision, repeat until the group is closed and drained, the autoscaler
+// retires this worker, or the replica faults and is quarantined.
 func (g *group) serveLoop(r *replica) {
 	for {
 		reqs := g.take(r)
 		if reqs == nil {
 			return
 		}
-		g.run(r, reqs)
+		if !g.runSupervised(r, reqs) {
+			return
+		}
 	}
 }
 
@@ -445,8 +631,11 @@ func (g *group) take(r *replica) []*request {
 		if g.stateful {
 			// Dispatch the oldest request whose stream has nothing in
 			// flight; per-stream order is the adaptation protocol's order.
+			// A sequenced request additionally dispatches only at its
+			// protocol position — queue position is not trusted, since
+			// retries and cascades can reorder the queue.
 			for i, req := range g.pending {
-				if !req.st.inflight {
+				if !req.st.inflight && (req.seq == 0 || req.seq == req.st.appliedSeq+1) {
 					req.st.inflight = true
 					g.dequeueLocked(req)
 					g.pending = append(g.pending[:i], g.pending[i+1:]...)
@@ -502,44 +691,35 @@ func (g *group) take(r *replica) []*request {
 	}
 }
 
-// run executes one dispatch on the replica and delivers the responses.
-func (g *group) run(r *replica, reqs []*request) {
-	start := time.Now()
+// commit finishes one successful supervised dispatch: persist the stream's
+// new state (and checkpoint it on cadence), update metrics, release the
+// stream's in-flight slot, and deliver the responses.
+func (g *group) commit(r *replica, reqs []*request, res computeResult, start time.Time) {
 	n := 0
 	for _, req := range reqs {
 		n += req.n
 	}
+	logits := res.logits
+	service := time.Since(start)
 
-	// Build the Process input: a single request passes through unchanged,
-	// a coalesced batch concatenates the requests' images in queue order
-	// into the replica's reusable buffer.
-	var x *tensor.Tensor
-	if len(reqs) == 1 {
-		x = reqs[0].x
-	} else {
-		need := n * g.inC * g.inHW * g.inHW
-		if cap(r.concat) < need {
-			r.concat = make([]float32, need)
-		}
-		buf := r.concat[:need]
-		off := 0
-		for _, req := range reqs {
-			off += copy(buf[off:], req.x.Data)
-		}
-		x = tensor.FromSlice(buf, n, g.inC, g.inHW, g.inHW)
-	}
-
-	var logits *tensor.Tensor
+	// Checkpoint before releasing the in-flight gate: the gate is what
+	// orders checkpoint writes of one stream, and the stream's next request
+	// must not dispatch until its state (below) is committed anyway.
+	var ckptWrote, ckptFailed bool
 	if g.stateful {
 		st := reqs[0].st
-		sa := r.adapter.(core.Stateful)
-		sa.RestoreState(st.state)
-		logits = r.adapter.Process(x)
-		st.state = sa.CaptureState()
-	} else {
-		logits = r.adapter.Process(x)
+		every := g.cfg.Checkpoint.Every
+		// st.applied is written only by the worker holding the in-flight
+		// gate — us — so reading it without g.mu is safe.
+		if g.store != nil && every > 0 && st.name != "" && (st.applied+1)%every == 0 {
+			seq := reqs[0].seq
+			if err := g.writeCheckpoint(st.name, res.state, seq); err != nil {
+				ckptFailed = true
+			} else {
+				ckptWrote = true
+			}
+		}
 	}
-	service := time.Since(start)
 
 	// Trace the dispatch: one span per Process call on the replica's
 	// timeline, plus one queue-wait span per request on its stream's
@@ -576,6 +756,27 @@ func (g *group) run(r *replica, reqs []*request) {
 	} else {
 		g.serviceEMA += (service - g.serviceEMA) / 8
 	}
+	if res.resets > 0 {
+		g.numericResets += res.resets
+		if g.met != nil {
+			g.met.numericResets.Add(int64(res.resets))
+		}
+	}
+	if ckptWrote {
+		g.ckptWrites++
+	}
+	if ckptFailed {
+		g.ckptFailures++
+		if g.met != nil {
+			g.met.ckptFailures.Inc()
+		}
+	}
+	if !g.lastFaultAt.IsZero() {
+		// First successful serve since the last replica fault: the group's
+		// fault→first-served recovery latency.
+		g.recoveryHist.Observe(done.Sub(g.lastFaultAt))
+		g.lastFaultAt = time.Time{}
+	}
 	if g.met != nil {
 		g.met.batches.Inc()
 		g.met.requests.Add(int64(len(reqs)))
@@ -594,12 +795,32 @@ func (g *group) run(r *replica, reqs []*request) {
 		req.st.e2e.Observe(e2e)
 	}
 	if g.stateful {
-		// The stream's state is already captured, so its next request may
-		// dispatch (even to another replica) before these responses land.
-		reqs[0].st.inflight = false
+		// Commit the post-batch adaptation state: this is the only place a
+		// stream's state advances, so a faulted dispatch (which never gets
+		// here) leaves the stream exactly one retry away. Then release the
+		// in-flight slot — the stream's next request may dispatch (even to
+		// another replica) before these responses land.
+		st := reqs[0].st
+		st.state = res.state
+		st.applied++
+		if seq := reqs[0].seq; seq > 0 {
+			st.appliedSeq = seq
+			if st.enqSeq < seq {
+				st.enqSeq = seq
+			}
+			st.cachedSeq = seq
+			st.cached = Response{
+				Logits:      logits,
+				QueueWait:   start.Sub(reqs[0].enq),
+				Service:     service,
+				BatchImages: n,
+			}
+		}
+		st.inflight = false
 	}
 	// The stream's next request became dispatchable; a drain-then-release
-	// Close may also be waiting on st.pending.
+	// Close may also be waiting on st.pending, and a duplicate sequenced
+	// submit on the applied position.
 	g.cond.Broadcast()
 	g.mu.Unlock()
 

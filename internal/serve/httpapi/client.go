@@ -3,9 +3,14 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
 	"time"
 
 	"edgetta/internal/serve"
@@ -18,8 +23,9 @@ import (
 // including the RetryAfter backoff hint on shed rejections. The zero
 // Base/HTTP fields are not usable; construct with NewClient.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry *retrier
 	// Binary selects the octet-stream codec for submissions (exact and
 	// compact); false selects JSON (exact too — see the package comment).
 	Binary bool
@@ -32,6 +38,117 @@ func NewClient(base string, httpClient *http.Client) *Client {
 		httpClient = http.DefaultClient
 	}
 	return &Client{base: base, http: httpClient}
+}
+
+// RetryPolicy is the client's automatic-retry configuration: capped
+// exponential backoff with seeded jitter. Retried failures are the
+// transient classes — ErrOverloaded and ErrReplicaFault (honoring the
+// server's RetryAfter hint as the backoff floor) plus transport-level
+// connection errors. Sequence conflicts and every other typed failure
+// surface immediately: they need a protocol decision, not patience.
+//
+// A transport error on a submit is ambiguous — the server may or may not
+// have processed the batch — so retrying it is only exactly-once for
+// sequenced submits (ProcessSeq), where the server deduplicates by
+// sequence number and replays the cached response. Unsequenced retried
+// submits are at-least-once.
+type RetryPolicy struct {
+	// MaxAttempts caps total tries (first attempt included). Default 6.
+	MaxAttempts int
+	// Base is the first backoff; attempt k waits ~Base*2^k. Default 10ms.
+	Base time.Duration
+	// Cap bounds a single backoff. Default 2s.
+	Cap time.Duration
+	// Seed drives the jitter RNG, making the backoff sequence (and thus
+	// chaos-test timing) reproducible. The same Seed yields the same
+	// jitter series.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 6
+	}
+	if p.Base <= 0 {
+		p.Base = 10 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 2 * time.Second
+	}
+	return p
+}
+
+// WithRetry enables automatic retries on the client and returns it (for
+// chaining at construction). Without it the client never retries.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	p = p.withDefaults()
+	c.retry = &retrier{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+	return c
+}
+
+// retrier holds the policy plus the seeded jitter RNG (mutex-guarded:
+// one client may retry from many goroutines).
+type retrier struct {
+	p   RetryPolicy
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// backoff computes the wait before retry number attempt (0-based), taking
+// the larger of the exponential schedule and the server's RetryAfter hint,
+// capping, then applying jitter in [d/2, d] from the seeded RNG.
+func (r *retrier) backoff(attempt int, hint time.Duration) time.Duration {
+	d := r.p.Base
+	for i := 0; i < attempt && d < r.p.Cap; i++ {
+		d *= 2
+	}
+	if hint > d {
+		d = hint
+	}
+	if d > r.p.Cap {
+		d = r.p.Cap
+	}
+	r.mu.Lock()
+	j := d/2 + time.Duration(r.rng.Int63n(int64(d/2)+1))
+	r.mu.Unlock()
+	return j
+}
+
+// retryable classifies an error as transient. Typed serve errors are
+// transient only for the overload and replica-fault classes; any
+// transport-level failure (*url.Error from http.Client.Do — refused,
+// reset, dropped connections) is treated as transient.
+func retryable(err error) bool {
+	var se *serve.Error
+	if errors.As(err, &se) {
+		return se.Code == serve.CodeOverloaded || se.Code == serve.CodeReplicaFault
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// do runs fn under the retry policy. fn must be safe to re-run (it builds
+// a fresh request each call). A nil policy runs fn exactly once.
+func (c *Client) do(fn func() error) error {
+	if c.retry == nil {
+		return fn()
+	}
+	var err error
+	for attempt := 0; attempt < c.retry.p.MaxAttempts; attempt++ {
+		if err = fn(); err == nil || !retryable(err) {
+			return err
+		}
+		if attempt == c.retry.p.MaxAttempts-1 {
+			break
+		}
+		var hint time.Duration
+		var se *serve.Error
+		if errors.As(err, &se) {
+			hint = se.RetryAfter
+		}
+		time.Sleep(c.retry.backoff(attempt, hint))
+	}
+	return err
 }
 
 // ClientStream is the remote counterpart of serve.Stream: one session.
@@ -60,6 +177,28 @@ func (c *Client) Open(model, algo string) (*ClientStream, error) {
 	return &ClientStream{c: c, Session: or.Session, ID: or.StreamID}, nil
 }
 
+// OpenSession opens (or resumes) a named recoverable session. resumeSeq is
+// the last sequence number the server already applied: 0 for a fresh
+// session, and the resubmission point minus one after a resume (the client
+// continues with SubmitSeq from resumeSeq+1). Unlike anonymous streams the
+// session survives server restarts when the server checkpoints to disk.
+func (c *Client) OpenSession(model, algo, name string) (st *ClientStream, resumeSeq uint64, err error) {
+	body, _ := json.Marshal(openRequest{Model: model, Algo: algo, Session: name})
+	resp, err := c.http.Post(c.base+"/v1/streams", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, decodeError(resp)
+	}
+	var or openResponse
+	if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
+		return nil, 0, fmt.Errorf("decode open response: %w", err)
+	}
+	return &ClientStream{c: c, Session: or.Session, ID: or.StreamID}, or.AppliedSeq, nil
+}
+
 // Snapshot fetches the server-wide stats payload.
 func (c *Client) Snapshot() (serve.Snapshot, error) {
 	var snap serve.Snapshot
@@ -76,8 +215,32 @@ func (c *Client) Snapshot() (serve.Snapshot, error) {
 }
 
 // Process submits one batch and blocks for its logits, in the client's
-// configured codec. Failures carry the typed serve taxonomy.
+// configured codec. Failures carry the typed serve taxonomy. Under a
+// retry policy, transient failures are retried at-least-once; use
+// ProcessSeq for exactly-once retries.
 func (s *ClientStream) Process(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return s.ProcessSeq(x, 0)
+}
+
+// ProcessSeq is Process with an idempotency sequence number (1-based,
+// contiguous per session; see serve.Stream.SubmitSeq). With a retry
+// policy on the client, a submit whose connection drops mid-flight is
+// retried with the same sequence number: if the server already adapted on
+// the batch it replays the cached response, so no batch is ever applied
+// twice. A sequence conflict surfaces as a *serve.Error with
+// Code=CodeSequence whose ExpectSeq says where to rewind.
+func (s *ClientStream) ProcessSeq(x *tensor.Tensor, seq uint64) (*tensor.Tensor, error) {
+	var out *tensor.Tensor
+	err := s.c.do(func() error {
+		var err error
+		out, err = s.processOnce(x, seq)
+		return err
+	})
+	return out, err
+}
+
+// processOnce performs one submit round trip.
+func (s *ClientStream) processOnce(x *tensor.Tensor, seq uint64) (*tensor.Tensor, error) {
 	url := s.c.base + "/v1/streams/" + s.Session + "/submit"
 	var req *http.Request
 	var err error
@@ -98,6 +261,9 @@ func (s *ClientStream) Process(x *tensor.Tensor) (*tensor.Tensor, error) {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if seq > 0 {
+		req.Header.Set("X-Edgetta-Seq", strconv.FormatUint(seq, 10))
 	}
 	resp, err := s.c.http.Do(req)
 	if err != nil {
@@ -178,6 +344,7 @@ func decodeError(resp *http.Response) error {
 				Msg:        p.Error.Message,
 				QueueDepth: p.Error.QueueDepth,
 				RetryAfter: time.Duration(p.Error.RetryAfterMS) * time.Millisecond,
+				ExpectSeq:  p.Error.ExpectSeq,
 			}
 		}
 		return fmt.Errorf("%s: %s (%s)", resp.Status, p.Error.Message, p.Error.Code)

@@ -64,6 +64,13 @@ var httpStatus = map[serve.Code]int{
 	// 499 is nginx's "client closed request": the requester's context died
 	// mid-flight, so nobody is likely reading this status anyway.
 	serve.CodeCanceled: 499,
+	// A quarantined replica is a transient server-side failure: 503 with
+	// Retry-After, and — because the faulted dispatch never advanced the
+	// stream's state — safe to retry with the same sequence number.
+	serve.CodeReplicaFault: http.StatusServiceUnavailable,
+	// A sequence-protocol violation is a client-state conflict; the
+	// payload's expect_seq tells the client where to rewind.
+	serve.CodeSequence: http.StatusConflict,
 }
 
 // Config tunes the front-end.
@@ -123,11 +130,23 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.Serv
 type openRequest struct {
 	Model string `json:"model"`
 	Algo  string `json:"algo"`
+	// Session, when non-empty, opens a named recoverable session via
+	// serve.OpenSession instead of an anonymous stream: its state is
+	// checkpointed server-side, and reopening the same name resumes from
+	// the last checkpoint. Named-session tokens are derived from the name
+	// (stable across server restarts), not minted randomly — the name is
+	// the credential, so clients should pick unguessable ones.
+	Session string `json:"session,omitempty"`
 }
 
 type openResponse struct {
 	Session  string `json:"session"`
 	StreamID int    `json:"stream_id"`
+	// Resumed reports that the named session continued from a checkpoint;
+	// AppliedSeq is then the last applied sequence number — the client
+	// resubmits from AppliedSeq+1.
+	Resumed    bool   `json:"resumed,omitempty"`
+	AppliedSeq uint64 `json:"applied_seq,omitempty"`
 }
 
 type batchJSON struct {
@@ -140,6 +159,9 @@ type wireError struct {
 	Message      string `json:"message"`
 	QueueDepth   int    `json:"queue_depth,omitempty"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	// ExpectSeq accompanies code "sequence": the sequence number the
+	// stream will accept next.
+	ExpectSeq uint64 `json:"expect_seq,omitempty"`
 }
 
 type errorPayload struct {
@@ -156,10 +178,11 @@ func writeError(w http.ResponseWriter, status int, err error) {
 		p.Error.Code = se.Code.String()
 		p.Error.QueueDepth = se.QueueDepth
 		p.Error.RetryAfterMS = se.RetryAfter.Milliseconds()
+		p.Error.ExpectSeq = se.ExpectSeq
 		if s, ok := httpStatus[se.Code]; ok {
 			status = s
 		}
-		if se.Code == serve.CodeOverloaded {
+		if se.Code == serve.CodeOverloaded || se.Code == serve.CodeReplicaFault {
 			// Retry-After is whole seconds by spec; round the hint up so
 			// "retry in 40ms" does not truncate to "retry immediately".
 			secs := int64(math.Ceil(se.RetryAfter.Seconds()))
@@ -205,7 +228,24 @@ func (h *Handler) handleOpen(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := h.srv.OpenStream(serve.GroupKey{ModelTag: req.Model, Algo: algo})
+	key := serve.GroupKey{ModelTag: req.Model, Algo: algo}
+	if req.Session != "" {
+		st, resumed, err := h.srv.OpenSession(key, req.Session)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		token := sessionToken(req.Session)
+		h.mu.Lock()
+		h.sessions[token] = st
+		h.mu.Unlock()
+		writeJSON(w, http.StatusOK, openResponse{
+			Session: token, StreamID: st.ID(),
+			Resumed: resumed, AppliedSeq: st.Snapshot().AppliedSeq,
+		})
+		return
+	}
+	st, err := h.srv.OpenStream(key)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -217,6 +257,45 @@ func (h *Handler) handleOpen(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, openResponse{Session: token, StreamID: st.ID()})
 }
 
+// sessionToken derives the wire token of a named session. Deterministic by
+// design: it survives a server restart, so a client holding the token can
+// keep submitting and the new process resumes the session underneath it.
+// The "n" prefix keeps the namespace disjoint from random 32-hex tokens.
+func sessionToken(name string) string { return "n" + hex.EncodeToString([]byte(name)) }
+
+// lookupOrResume resolves a session token, attempting checkpoint resume for
+// unknown named-session tokens — the restart recovery path: the handler's
+// in-memory session table died with the old process, but the checkpoint
+// store survived on disk.
+func (h *Handler) lookupOrResume(token string) (*serve.Stream, bool) {
+	if st, ok := h.lookup(token); ok {
+		return st, true
+	}
+	raw, ok := strings.CutPrefix(token, "n")
+	if !ok {
+		return nil, false
+	}
+	name, err := hex.DecodeString(raw)
+	if err != nil {
+		return nil, false
+	}
+	st, err := h.srv.ResumeSession(string(name))
+	if err != nil {
+		// A concurrent request may have resumed the session first (the
+		// second OpenSession fails as a duplicate); serve whatever won.
+		return h.lookup(token)
+	}
+	h.mu.Lock()
+	if prior, dup := h.sessions[token]; dup {
+		h.mu.Unlock()
+		st.Close()
+		return prior, true
+	}
+	h.sessions[token] = st
+	h.mu.Unlock()
+	return st, true
+}
+
 // sessionError is the payload for an unknown session token: deliberately
 // outside the serve taxonomy (the serve layer never saw the request).
 func unknownSession(w http.ResponseWriter) {
@@ -226,10 +305,18 @@ func unknownSession(w http.ResponseWriter) {
 }
 
 func (h *Handler) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	st, ok := h.lookup(r.PathValue("session"))
+	st, ok := h.lookupOrResume(r.PathValue("session"))
 	if !ok {
 		unknownSession(w)
 		return
+	}
+	var seq uint64
+	if s := r.Header.Get("X-Edgetta-Seq"); s != "" {
+		var err error
+		if seq, err = strconv.ParseUint(s, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parse X-Edgetta-Seq %q: %w", s, err))
+			return
+		}
 	}
 	binaryCodec := strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream")
 	x, err := h.readBatch(r, binaryCodec)
@@ -244,7 +331,7 @@ func (h *Handler) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, h.cfg.Timeout)
 		defer cancel()
 	}
-	logits, err := st.ProcessCtx(ctx, x)
+	logits, err := st.ProcessSeq(ctx, x, seq)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -309,7 +396,7 @@ func tensorFrom(data []float32, shape []int) (*tensor.Tensor, error) {
 }
 
 func (h *Handler) handleStreamSnapshot(w http.ResponseWriter, r *http.Request) {
-	st, ok := h.lookup(r.PathValue("session"))
+	st, ok := h.lookupOrResume(r.PathValue("session"))
 	if !ok {
 		unknownSession(w)
 		return

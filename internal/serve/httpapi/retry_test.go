@@ -1,0 +1,242 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"edgetta/internal/core"
+	"edgetta/internal/data"
+	"edgetta/internal/serve"
+	"edgetta/internal/serve/chaos"
+)
+
+// TestRetryBackoffDeterministic pins the retry policy's arithmetic: the
+// jitter series is a pure function of the seed, the server's RetryAfter
+// hint floors the wait, and the cap bounds it.
+func TestRetryBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, Base: 10 * time.Millisecond, Cap: 500 * time.Millisecond, Seed: 99}
+	a := NewClient("http://x", nil).WithRetry(p)
+	b := NewClient("http://x", nil).WithRetry(p)
+	for attempt := 0; attempt < 12; attempt++ {
+		da, db := a.retry.backoff(attempt, 0), b.retry.backoff(attempt, 0)
+		if da != db {
+			t.Fatalf("attempt %d: same seed gave %v vs %v", attempt, da, db)
+		}
+		if da > p.Cap {
+			t.Errorf("attempt %d: backoff %v exceeds cap %v", attempt, da, p.Cap)
+		}
+	}
+	// The hint is a floor: with RetryAfter 200ms, attempt 0 (schedule 10ms)
+	// must wait at least half the floored value (jitter range [d/2, d]).
+	if d := a.retry.backoff(0, 200*time.Millisecond); d < 100*time.Millisecond || d > 200*time.Millisecond {
+		t.Errorf("hinted backoff = %v, want within [100ms, 200ms]", d)
+	}
+	// Different seeds diverge (fixed seeds chosen to differ).
+	c := NewClient("http://x", nil).WithRetry(RetryPolicy{MaxAttempts: 8, Base: 10 * time.Millisecond, Cap: 500 * time.Millisecond, Seed: 100})
+	same := true
+	for attempt := 0; attempt < 12; attempt++ {
+		if NewClient("http://x", nil).WithRetry(p).retry.backoff(attempt, 0) != c.retry.backoff(attempt, 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("seeds 99 and 100 produced identical 12-step jitter series")
+	}
+}
+
+// TestRetryClassification pins which failures the client retries: overload
+// and replica faults yes, sequence conflicts and bad requests no, transport
+// errors yes.
+func TestRetryClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&serve.Error{Code: serve.CodeOverloaded}, true},
+		{&serve.Error{Code: serve.CodeReplicaFault}, true},
+		{&serve.Error{Code: serve.CodeSequence}, false},
+		{&serve.Error{Code: serve.CodeBadRequest}, false},
+		{&serve.Error{Code: serve.CodeClosed}, false},
+		{errors.New("plain"), false},
+	}
+	for _, c := range cases {
+		if got := retryable(c.err); got != c.want {
+			t.Errorf("retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestHTTPDroppedConnectionsExactlyOnce runs sequenced submits through a
+// transport that drops connections at both stages — before the request is
+// sent, and after the server processed it but before the client read the
+// response. With seeded retries and sequence numbers, every batch must be
+// adapted exactly once and every response must match the serial reference:
+// the dropped-response case in particular forces the server's cached-replay
+// path, since its batch was already applied when the retry arrives.
+func TestHTTPDroppedConnectionsExactlyOnce(t *testing.T) {
+	base := testModel()
+	inputs := genBatches(29, 16, 4, data.GaussianNoise, 3)
+	want := serialLogits(t, base, core.BNNorm, core.Config{}, inputs)
+
+	srv := serve.New(serve.Config{QueueCap: 8})
+	defer srv.Close()
+	key, err := srv.AddGroup(base, core.BNNorm, core.Config{}, 1)
+	if err != nil {
+		t.Fatalf("AddGroup: %v", err)
+	}
+	ts := httptest.NewServer(New(srv, Config{}))
+	defer ts.Close()
+
+	// Round trips are counted 1-based and the client is sequential, so the
+	// schedule is exact: 1 = open, 2 = seq1, 3 = seq2 (response dropped),
+	// 4 = seq2 retry, 5 = seq3 (request dropped), 6 = seq3 retry, 7 = seq4.
+	drop := chaos.NewDropRoundTripper(nil, chaos.Plan{
+		DropResponseAt: []uint64{3},
+		DropRequestAt:  []uint64{5},
+	})
+	c := NewClient(ts.URL, &http.Client{Transport: drop}).WithRetry(RetryPolicy{
+		MaxAttempts: 4, Base: time.Millisecond, Cap: 50 * time.Millisecond, Seed: 7,
+	})
+	cs, _, err := c.OpenSession(base.Tag, "bnnorm", "drop-sess")
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	for b, x := range inputs {
+		logits, err := cs.ProcessSeq(x, uint64(b+1))
+		if err != nil {
+			t.Fatalf("seq %d: %v", b+1, err)
+		}
+		for i := range want[b] {
+			if want[b][i] != logits.Data[i] {
+				t.Fatalf("seq %d logit %d: %v, serial %v", b+1, i, logits.Data[i], want[b][i])
+			}
+		}
+	}
+	if fired := drop.Injected(); len(fired) != 2 {
+		t.Fatalf("drops fired = %v, want both stages", fired)
+	}
+
+	// Exactly-once: the dropped-response batch was adapted once (its retry
+	// replayed the cache), the dropped-request batch was adapted once (its
+	// first attempt never reached the server).
+	s, err := srv.GroupSnapshot(key)
+	if err != nil {
+		t.Fatalf("GroupSnapshot: %v", err)
+	}
+	if wantImages := len(inputs) * 4; s.Images != wantImages {
+		t.Errorf("server adapted %d images, want exactly %d", s.Images, wantImages)
+	}
+}
+
+// TestHTTPRestartAutoResume restarts the whole server under live clients:
+// sessions checkpointed to disk must continue on the new process — via an
+// explicit named reopen, and transparently when a stale session token from
+// the old process hits the new one (the token encodes the name, the
+// checkpoint header the routing). Replayed batches stay bitwise-serial.
+func TestHTTPRestartAutoResume(t *testing.T) {
+	base := testModel()
+	inputs := genBatches(31, 24, 4, data.Fog, 3)
+	want := serialLogits(t, base, core.BNNorm, core.Config{}, inputs)
+	cfg := serve.Config{QueueCap: 8, Checkpoint: serve.CheckpointConfig{Every: 2, Dir: t.TempDir()}}
+
+	srvA := serve.New(cfg)
+	if _, err := srvA.AddGroup(base, core.BNNorm, core.Config{}, 1); err != nil {
+		t.Fatalf("AddGroup: %v", err)
+	}
+	tsA := httptest.NewServer(New(srvA, Config{}))
+	cA := NewClient(tsA.URL, nil)
+	csA, resumeSeq, err := cA.OpenSession(base.Tag, "bnnorm", "restart-sess")
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	if resumeSeq != 0 {
+		t.Fatalf("fresh session resumeSeq = %d, want 0", resumeSeq)
+	}
+	for b := 0; b < 4; b++ {
+		if _, err := csA.ProcessSeq(inputs[b], uint64(b+1)); err != nil {
+			t.Fatalf("phase A seq %d: %v", b+1, err)
+		}
+	}
+	tsA.Close()
+	srvA.Close()
+
+	srvB := serve.New(cfg)
+	defer srvB.Close()
+	if _, err := srvB.AddGroup(base, core.BNNorm, core.Config{}, 1); err != nil {
+		t.Fatalf("AddGroup: %v", err)
+	}
+	tsB := httptest.NewServer(New(srvB, Config{}))
+	defer tsB.Close()
+
+	// Transparent path: the client keeps its old session token and simply
+	// points at the new server — the front-end resumes the session from its
+	// checkpoint on first touch. The checkpoint holds seq 4, so seq 5 is
+	// exactly what the resumed stream expects.
+	cB := NewClient(tsB.URL, nil)
+	csB := &ClientStream{c: cB, Session: csA.Session}
+	for b := 4; b < len(inputs); b++ {
+		logits, err := csB.ProcessSeq(inputs[b], uint64(b+1))
+		if err != nil {
+			t.Fatalf("phase B seq %d: %v", b+1, err)
+		}
+		for i := range want[b] {
+			if want[b][i] != logits.Data[i] {
+				t.Fatalf("phase B seq %d logit %d: %v, serial %v (resume must be bitwise)",
+					b+1, i, logits.Data[i], want[b][i])
+			}
+		}
+	}
+	ss, err := csB.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if ss.Name != "restart-sess" || ss.AppliedSeq != uint64(len(inputs)) {
+		t.Errorf("resumed snapshot = %q seq %d, want restart-sess seq %d", ss.Name, ss.AppliedSeq, len(inputs))
+	}
+	if _, err := csB.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Explicit path: a named reopen on yet another server reports where to
+	// rewind. Closing above retired the checkpoint, so run a short second
+	// session to restart from.
+	csC, _, err := cB.OpenSession(base.Tag, "bnnorm", "restart-sess2")
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	for b := 0; b < 2; b++ {
+		if _, err := csC.ProcessSeq(inputs[b], uint64(b+1)); err != nil {
+			t.Fatalf("sess2 seq %d: %v", b+1, err)
+		}
+	}
+	tsB.Close()
+	srvB.Close()
+
+	srvC := serve.New(cfg)
+	defer srvC.Close()
+	if _, err := srvC.AddGroup(base, core.BNNorm, core.Config{}, 1); err != nil {
+		t.Fatalf("AddGroup: %v", err)
+	}
+	tsC := httptest.NewServer(New(srvC, Config{}))
+	defer tsC.Close()
+	csD, resumeSeq, err := NewClient(tsC.URL, nil).OpenSession(base.Tag, "bnnorm", "restart-sess2")
+	if err != nil {
+		t.Fatalf("reopen after restart: %v", err)
+	}
+	if resumeSeq != 2 {
+		t.Fatalf("reopen resumeSeq = %d, want 2 (the checkpoint)", resumeSeq)
+	}
+	logits, err := csD.ProcessSeq(inputs[2], 3)
+	if err != nil {
+		t.Fatalf("post-resume seq 3: %v", err)
+	}
+	for i := range want[2] {
+		if want[2][i] != logits.Data[i] {
+			t.Fatalf("post-resume logit %d: %v, serial %v", i, logits.Data[i], want[2][i])
+		}
+	}
+}

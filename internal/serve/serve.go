@@ -116,6 +116,24 @@ type Config struct {
 	// latency histograms) labeled by group key. Nil disables metric
 	// publication entirely; every update site is then a single nil check.
 	Registry *telemetry.Registry
+	// Watchdog bounds one adapter Process call. A replica that produces no
+	// result within the deadline is treated as wedged: it is quarantined
+	// and replaced, and its in-flight requests fail with ErrReplicaFault.
+	// 0 disables the watchdog (a Process call may take arbitrarily long).
+	Watchdog time.Duration
+	// Checkpoint tunes per-session adaptation-state checkpointing (see
+	// CheckpointConfig). The zero value disables it.
+	Checkpoint CheckpointConfig
+	// DisableNumericGuard turns off the post-Process NaN/Inf scan of
+	// stateful adaptation state. The guard is on by default: a poisoned
+	// state is reset to the episode-start snapshot instead of being
+	// committed, counted as a numeric reset in the snapshot and telemetry.
+	DisableNumericGuard bool
+	// Injector, when non-nil, is consulted before every Process call and
+	// checkpoint write — the seeded chaos hook (see FaultInjector and
+	// internal/serve/chaos). Nil injects nothing. Production servers leave
+	// it nil; tests and ttaload -chaos wire a seeded plan.
+	Injector FaultInjector
 }
 
 func (c Config) withDefaults() Config {
@@ -131,16 +149,24 @@ func (c Config) withDefaults() Config {
 
 // Server multiplexes adaptation streams over replica groups.
 type Server struct {
-	cfg Config
+	cfg   Config
+	store *ckptStore
 
 	mu     sync.Mutex
 	groups map[GroupKey]*group
 	closed bool
 }
 
-// New constructs an empty server; add replica groups with AddGroup.
+// New constructs an empty server; add replica groups with AddGroup. When
+// checkpointing is configured with a spill directory, the directory is
+// scanned here and any valid checkpoints it holds become resumable
+// sessions (the ttaserve -recover path).
 func New(cfg Config) *Server {
-	return &Server{cfg: cfg.withDefaults(), groups: make(map[GroupKey]*group)}
+	s := &Server{cfg: cfg.withDefaults(), groups: make(map[GroupKey]*group)}
+	if s.cfg.Checkpoint.enabled() {
+		s.store = newCkptStore(s.cfg.Checkpoint.Dir)
+	}
+	return s
 }
 
 // AddGroup registers a replica group serving algo over m with acfg. The
@@ -181,24 +207,28 @@ func (s *Server) AddGroup(m *models.Model, algo core.Algorithm, acfg core.Config
 	}
 
 	g := &group{
-		key:       key,
-		cfg:       s.cfg,
-		algo:      algo,
-		acfg:      acfg,
-		template:  m.Clone(),
-		inC:       m.InC,
-		inHW:      m.InHW,
-		classes:   m.Classes,
-		streams:   make(map[int]*streamState),
-		stopScale: make(chan struct{}),
-		batchHist: &core.LatencyHist{},
-		e2eHist:   &core.LatencyHist{},
+		key:          key,
+		cfg:          s.cfg,
+		algo:         algo,
+		acfg:         acfg,
+		template:     m.Clone(),
+		inC:          m.InC,
+		inHW:         m.InHW,
+		classes:      m.Classes,
+		streams:      make(map[int]*streamState),
+		names:        make(map[string]*streamState),
+		store:        s.store,
+		stopScale:    make(chan struct{}),
+		batchHist:    &core.LatencyHist{},
+		e2eHist:      &core.LatencyHist{},
+		recoveryHist: &core.LatencyHist{},
 	}
 	g.cond = sync.NewCond(&g.mu)
 	if reg := s.cfg.Registry; reg != nil {
 		g.met = newGroupMetrics(reg, key)
 		reg.RegisterHist("edgetta_serve_service_seconds", g.batchHist, "group", key.String())
 		reg.RegisterHist("edgetta_serve_e2e_seconds", g.e2eHist, "group", key.String())
+		reg.RegisterHist("edgetta_serve_recovery_seconds", g.recoveryHist, "group", key.String())
 	}
 	pool := make([]*replica, 0, replicas)
 	for i := 0; i < replicas; i++ {
@@ -215,6 +245,15 @@ func (s *Server) AddGroup(m *models.Model, algo core.Algorithm, acfg core.Config
 		// replicas are byte-identical clones, so replica 0's fresh state
 		// restores cleanly onto any of them.
 		g.initial = st.CaptureState()
+		// Flattened shape of the episode-start state, used to validate
+		// resumed checkpoints against the group's architecture. Algorithms
+		// with non-flattenable state simply skip the shape check.
+		if _, tensors, err := core.FlattenState(g.initial); err == nil {
+			g.initialShape = make(map[string]int, len(tensors))
+			for _, t := range tensors {
+				g.initialShape[t.Name] = len(t.Data)
+			}
+		}
 	}
 
 	s.mu.Lock()
@@ -233,6 +272,7 @@ func (s *Server) AddGroup(m *models.Model, algo core.Algorithm, acfg core.Config
 		g.wg.Add(1)
 		go func() {
 			defer g.wg.Done()
+			defer g.recoverBarrier("scale")
 			g.scaleLoop()
 		}()
 	}

@@ -50,6 +50,27 @@ type GroupSnapshot struct {
 	QueueDepth    int `json:"queue_depth"`
 	PendingImages int `json:"pending_images"`
 	MaxQueueDepth int `json:"max_queue_depth"`
+	// Replica health. Faults counts quarantined replicas (panics plus
+	// watchdog kills) over the group's lifetime; Respawns counts the
+	// replacements that came up; Respawning is how many replacements are
+	// being constructed right now. Replicas already excludes quarantined
+	// members, so Replicas+Respawning is the target pool size mid-recovery.
+	Faults     int `json:"faults,omitempty"`
+	Respawns   int `json:"respawns,omitempty"`
+	Respawning int `json:"respawning,omitempty"`
+	// QuarantinedIDs lists the most recently quarantined replica IDs
+	// (bounded history, oldest first) for postmortem correlation.
+	QuarantinedIDs []int `json:"quarantined_ids,omitempty"`
+	// NumericResets counts poisoned adaptation states (NaN/Inf detected
+	// after a Process call) that were reset to the episode-start snapshot.
+	NumericResets int `json:"numeric_resets,omitempty"`
+	// CheckpointWrites/CheckpointFailures count session checkpoint
+	// attempts; a failure never fails the request, only the checkpoint.
+	CheckpointWrites   int `json:"checkpoint_writes,omitempty"`
+	CheckpointFailures int `json:"checkpoint_failures,omitempty"`
+	// Recovery is the fault-to-first-served distribution: the time from a
+	// replica quarantine to the group's next successfully served batch.
+	Recovery LatencySnapshot `json:"recovery"`
 	// Service is per-Process wall time; E2E is per-request submit-to-
 	// response time (queue wait + service).
 	Service LatencySnapshot `json:"service"`
@@ -60,9 +81,15 @@ type GroupSnapshot struct {
 
 // StreamSnapshot summarizes one stream's served requests.
 type StreamSnapshot struct {
-	ID       int `json:"id"`
-	Requests int `json:"requests"`
-	Images   int `json:"images"`
+	ID int `json:"id"`
+	// Name is the session name for recoverable streams (OpenSession);
+	// empty for anonymous streams.
+	Name     string `json:"name,omitempty"`
+	Requests int    `json:"requests"`
+	Images   int    `json:"images"`
+	// AppliedSeq is the highest applied sequence number for streams using
+	// the SubmitSeq idempotency protocol; 0 otherwise.
+	AppliedSeq uint64 `json:"applied_seq,omitempty"`
 	// E2E is the submit-to-response latency distribution.
 	E2E LatencySnapshot `json:"e2e"`
 }
@@ -197,6 +224,16 @@ func (g *group) snapshot() GroupSnapshot {
 		QueueDepth:    len(g.pending),
 		PendingImages: g.pendingImages,
 		MaxQueueDepth: g.queueMax,
+
+		Faults:             g.faults,
+		Respawns:           g.respawns,
+		Respawning:         g.respawning,
+		NumericResets:      g.numericResets,
+		CheckpointWrites:   g.ckptWrites,
+		CheckpointFailures: g.ckptFailures,
+	}
+	if len(g.quarantinedIDs) > 0 {
+		s.QuarantinedIDs = append([]int(nil), g.quarantinedIDs...)
 	}
 	if a := g.cfg.Autoscale; a.Enabled {
 		s.MinReplicas, s.MaxReplicas = a.Min, a.Max
@@ -208,7 +245,11 @@ func (g *group) snapshot() GroupSnapshot {
 	refs := make([]streamRef, 0, len(g.streams))
 	for _, st := range g.streams {
 		refs = append(refs, streamRef{
-			ss:  StreamSnapshot{ID: st.id, Requests: st.requests, Images: st.images},
+			ss: StreamSnapshot{
+				ID: st.id, Name: st.name,
+				Requests: st.requests, Images: st.images,
+				AppliedSeq: st.appliedSeq,
+			},
 			e2e: &st.e2e,
 		})
 	}
@@ -216,6 +257,7 @@ func (g *group) snapshot() GroupSnapshot {
 
 	s.Service = newLatencySnapshot(g.batchHist.Summary())
 	s.E2E = newLatencySnapshot(g.e2eHist.Summary())
+	s.Recovery = newLatencySnapshot(g.recoveryHist.Summary())
 	if s.Batches > 0 {
 		s.MeanCoalesced = float64(s.Images) / float64(s.Batches)
 	}

@@ -31,8 +31,46 @@ func (s *Stream) ID() int { return s.st.id }
 // pipeline submissions: stateful groups still process them one at a time
 // in order.
 func (s *Stream) SubmitCtx(ctx context.Context, x *tensor.Tensor) <-chan Response {
-	return s.g.submit(ctx, s.st, x)
+	return s.g.submit(ctx, s.st, x, 0)
 }
+
+// SubmitSeq is SubmitCtx with an idempotency sequence number. Sequence
+// numbers start at 1 and must be contiguous per stream: the stream accepts
+// seq only when it directly follows the last applied batch (or duplicates
+// one already admitted). The guarantees, which make retries after
+// ErrReplicaFault safe:
+//
+//   - a duplicate of the last applied sequence number replays the cached
+//     response without re-adapting — no batch is ever double-adapted;
+//   - a duplicate of a sequence number still in flight waits for the
+//     original's outcome (and becomes the retry if the original faults);
+//   - a gap fails immediately with ErrSequence carrying ExpectSeq, the
+//     number the stream will accept next — the rewind point after a
+//     recovery.
+//
+// seq 0 means unsequenced and behaves exactly like SubmitCtx. Stateless
+// groups ignore sequence numbers entirely (their requests are independent
+// and idempotency is meaningless without state).
+func (s *Stream) SubmitSeq(ctx context.Context, x *tensor.Tensor, seq uint64) <-chan Response {
+	return s.g.submit(ctx, s.st, x, seq)
+}
+
+// ProcessSeq is the synchronous form of SubmitSeq, with the same
+// post-dispatch context semantics as ProcessCtx.
+func (s *Stream) ProcessSeq(ctx context.Context, x *tensor.Tensor, seq uint64) (*tensor.Tensor, error) {
+	ch := s.SubmitSeq(ctx, x, seq)
+	select {
+	case r := <-ch:
+		return r.Logits, r.Err
+	case <-ctx.Done():
+		return nil, ctxErr(ctx)
+	}
+}
+
+// Name returns the stream's session name (empty for anonymous streams
+// opened with OpenStream). Named streams are the recoverable ones: their
+// state is checkpointed and they can be reopened with OpenSession.
+func (s *Stream) Name() string { return s.st.name }
 
 // ProcessCtx is the synchronous form of SubmitCtx: it returns the logits
 // for the batch, one row per image. If the context expires after dispatch
@@ -72,9 +110,11 @@ func (s *Stream) Process(x *tensor.Tensor) (*tensor.Tensor, error) {
 func (s *Stream) Snapshot() StreamSnapshot {
 	s.g.mu.Lock()
 	ss := StreamSnapshot{
-		ID:       s.st.id,
-		Requests: s.st.requests,
-		Images:   s.st.images,
+		ID:         s.st.id,
+		Name:       s.st.name,
+		Requests:   s.st.requests,
+		Images:     s.st.images,
+		AppliedSeq: s.st.appliedSeq,
 	}
 	s.g.mu.Unlock()
 	ss.E2E = newLatencySnapshot(s.st.e2e.Summary())

@@ -2,12 +2,14 @@
 # scripts/bench.sh — record a benchmark baseline for this repository.
 #
 # Runs the tier-1 real-execution benchmarks at a pinned worker count and
-# writes the best-of-N results as JSON (default BENCH_9.json), so each PR
+# writes the best-of-N results as JSON (default BENCH_10.json), so each PR
 # can leave a comparable perf datapoint next to the code it changed. The
 # traced WRN forward records the telemetry overhead next to its untraced
 # twin; their ratio is the enabled-tracing cost on a real workload. The
 # serving curve (ttaload's throughput-vs-stream-count sweep through the
-# HTTP wire API) is embedded under "serve_curve".
+# HTTP wire API) is embedded under "serve_curve", and the seeded chaos
+# run's full report — including the fault-to-first-served recovery-latency
+# p50/p95 — under "serve_chaos".
 #
 # Usage: scripts/bench.sh [out.json]
 #   EDGETTA_WORKERS  pool width to pin (default 1 — the 1-core dev box)
@@ -15,10 +17,11 @@
 #   BENCH_TIME       go test -benchtime value (default 5x)
 #   SERVE_CURVE      stream counts for the serving sweep (default 1,2,4,8)
 #   SERVE_SAMPLES    samples per stream in the sweep (default 48)
+#   CHAOS_SEED       fault-schedule seed for the chaos run (default 1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_9.json}"
+OUT="${1:-BENCH_10.json}"
 WORKERS="${EDGETTA_WORKERS:-1}"
 COUNT="${BENCH_COUNT:-3}"
 TIME="${BENCH_TIME:-5x}"
@@ -33,6 +36,16 @@ printf '%s\n' "$RAW"
 SERVE_JSON="$(EDGETTA_WORKERS="$WORKERS" go run ./cmd/ttaload \
 	-curve "$CURVE" -samples "$CURVE_SAMPLES" -batch 8 -out -)"
 
+# Seeded chaos run: replica panics, a slow replica, a failed checkpoint
+# write and one full restart. Its report carries the recovery latency
+# (fault to the group's next served batch, p50/p95 in ms). The run exits
+# nonzero if any batch was lost, double-adapted, or diverged bitwise.
+CHAOS_TMP="$(mktemp)"
+trap 'rm -f "$CHAOS_TMP"' EXIT
+EDGETTA_WORKERS="$WORKERS" go run ./cmd/ttaload \
+	-chaos "${CHAOS_SEED:-1}" -samples 16 -batch 4 -replicas 2 -out "$CHAOS_TMP" >&2
+CHAOS_JSON="$(cat "$CHAOS_TMP")"
+
 {
 	printf '{\n'
 	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -42,6 +55,7 @@ SERVE_JSON="$(EDGETTA_WORKERS="$WORKERS" go run ./cmd/ttaload \
 	printf '  "benchtime": "%s",\n' "$TIME"
 	printf '  "count": %s,\n' "$COUNT"
 	printf '  "serve_curve": %s,\n' "$SERVE_JSON"
+	printf '  "serve_chaos": %s,\n' "$CHAOS_JSON"
 	printf '  "ns_per_op": {\n'
 	printf '%s\n' "$RAW" | awk '
 		/^Benchmark/ {
